@@ -1,0 +1,73 @@
+// Command gosat is a standalone DIMACS CNF solver wrapping the CDCL
+// engine this repository uses for lattice mapping. It exists to validate
+// the solver against external instances and follows the SAT-competition
+// output conventions (s/v lines, exit code 10 for SAT, 20 for UNSAT).
+//
+// Usage:
+//
+//	gosat [-conflicts N] [-timeout D] [-stats] [file.cnf]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/lattice-tools/janus/internal/sat"
+)
+
+func main() {
+	var (
+		conflicts = flag.Int64("conflicts", 0, "conflict budget (0 = unlimited)")
+		timeout   = flag.Duration("timeout", 0, "time budget (0 = unlimited)")
+		stats     = flag.Bool("stats", false, "print search statistics")
+	)
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gosat:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	s, err := sat.ParseDIMACS(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gosat:", err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	st := s.Solve(sat.Limits{MaxConflicts: *conflicts, Timeout: *timeout})
+	if *stats {
+		sst := s.Stats()
+		fmt.Printf("c vars=%d clauses=%d conflicts=%d decisions=%d propagations=%d restarts=%d time=%v\n",
+			s.NumVars(), s.NumClauses(), sst.Conflicts, sst.Decisions,
+			sst.Propagations, sst.Restarts, time.Since(start).Round(time.Millisecond))
+	}
+	switch st {
+	case sat.Sat:
+		fmt.Println("s SATISFIABLE")
+		var sb strings.Builder
+		sb.WriteString("v")
+		for v := 0; v < s.NumVars(); v++ {
+			if s.Model(v) {
+				fmt.Fprintf(&sb, " %d", v+1)
+			} else {
+				fmt.Fprintf(&sb, " -%d", v+1)
+			}
+		}
+		sb.WriteString(" 0")
+		fmt.Println(sb.String())
+		os.Exit(10)
+	case sat.Unsat:
+		fmt.Println("s UNSATISFIABLE")
+		os.Exit(20)
+	default:
+		fmt.Println("s UNKNOWN")
+	}
+}

@@ -1,0 +1,109 @@
+// Command janus synthesizes the functions of a PLA file onto switching
+// lattices.
+//
+// Usage:
+//
+//	janus [-o N] [-multi] [-conflicts N] [-timeout D] [-v] [file.pla]
+//
+// Without -multi each selected output is synthesized on its own lattice;
+// with -multi all outputs are packed onto a single lattice with JANUS-MF.
+// Reads standard input when no file is given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/lattice-tools/janus"
+)
+
+func main() {
+	var (
+		outIdx    = flag.Int("o", -1, "synthesize only this output index (default: all)")
+		multi     = flag.Bool("multi", false, "realize all outputs on a single lattice (JANUS-MF)")
+		conflicts = flag.Int64("conflicts", 0, "SAT conflict budget per LM call (0 = unlimited)")
+		timeout   = flag.Duration("timeout", 0, "SAT time budget per LM call (0 = unlimited)")
+		verbose   = flag.Bool("v", false, "print bounds and search statistics")
+		svgPath   = flag.String("svg", "", "write the (first) solution as an SVG drawing to this file")
+	)
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	p, err := janus.ParsePLA(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := janus.Options{}
+	opt.Encode.Limits = janus.SATLimits{MaxConflicts: *conflicts, Timeout: *timeout}
+
+	if *multi {
+		mr, err := janus.SynthesizeMulti(p.Covers, opt, true)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("multi-function lattice: %s (%d switches, %d LM problems, %v)\n",
+			mr.Sol(), mr.Lattice.Size(), mr.LMSolved, mr.Elapsed.Round(time.Millisecond))
+		fmt.Println(mr.Lattice.Assignment.Format(p.InputNames))
+		return
+	}
+
+	for o, cov := range p.Covers {
+		if *outIdx >= 0 && o != *outIdx {
+			continue
+		}
+		res, err := janus.Synthesize(cov, opt)
+		if err != nil {
+			fatal(fmt.Errorf("output %s: %w", p.OutputNames[o], err))
+		}
+		fmt.Printf("%s: %dx%d (%d switches)\n",
+			p.OutputNames[o], res.Grid.M, res.Grid.N, res.Size)
+		if *verbose {
+			fmt.Printf("  isop: %s\n", res.ISOP.Format(p.InputNames))
+			fmt.Printf("  lb=%d oub=%d nub=%d (%s)  LM solved=%d  elapsed=%v  matched-lb=%v\n",
+				res.LB, res.OUB, res.NUB, res.UBMethod, res.LMSolved,
+				res.Elapsed.Round(time.Millisecond), res.MatchedLB)
+		}
+		fmt.Println(indent(res.Assignment.Format(p.InputNames), "  "))
+		if *svgPath != "" {
+			f, err := os.Create(*svgPath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := res.Assignment.WriteSVG(f, p.InputNames); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *svgPath)
+			*svgPath = "" // only the first synthesized output is drawn
+		}
+	}
+}
+
+func indent(s, pad string) string {
+	out := pad
+	for _, r := range s {
+		out += string(r)
+		if r == '\n' {
+			out += pad
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "janus:", err)
+	os.Exit(1)
+}

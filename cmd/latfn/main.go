@@ -1,0 +1,71 @@
+// Command latfn prints switching-lattice functions and reproduces Table I
+// of the paper.
+//
+// Usage:
+//
+//	latfn -m 3 -n 3          # products of f_3x3 and its dual
+//	latfn -table [-max 8]    # Table I: product counts for 2..max
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/lattice-tools/janus"
+)
+
+func main() {
+	var (
+		m     = flag.Int("m", 3, "rows")
+		n     = flag.Int("n", 3, "columns")
+		table = flag.Bool("table", false, "print Table I (product counts)")
+		max   = flag.Int("max", 8, "largest dimension for -table")
+		dual  = flag.Bool("dual", false, "print only the dual products")
+	)
+	flag.Parse()
+
+	if *table {
+		fmt.Printf("Table I: products of f_mxn (top) and its dual (bottom), 2 <= m,n <= %d\n", *max)
+		fmt.Printf("m/n ")
+		for nn := 2; nn <= *max; nn++ {
+			fmt.Printf("%12d", nn)
+		}
+		fmt.Println()
+		for mm := 2; mm <= *max; mm++ {
+			g := janus.Grid{M: mm, N: 1}
+			fmt.Printf("%3d ", mm)
+			for nn := 2; nn <= *max; nn++ {
+				g.N = nn
+				fmt.Printf("%12d", countPaths(g, false))
+			}
+			fmt.Println()
+			fmt.Printf("    ")
+			for nn := 2; nn <= *max; nn++ {
+				g.N = nn
+				fmt.Printf("%12d", countPaths(g, true))
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	g := janus.Grid{M: *m, N: *n}
+	if g.Cells() > 64 {
+		fmt.Fprintln(os.Stderr, "latfn: explicit products limited to 64 switches; use -table for counts")
+		os.Exit(1)
+	}
+	if !*dual {
+		f := janus.LatticeFunction(g)
+		fmt.Printf("f_%s: %d products\n%s\n", g, len(f.Cubes), f)
+	}
+	d := janus.LatticeDual(g)
+	fmt.Printf("dual of f_%s: %d products\n%s\n", g, len(d.Cubes), d)
+}
+
+func countPaths(g janus.Grid, dual bool) int64 {
+	if dual {
+		return g.CountDualPaths()
+	}
+	return g.CountPaths()
+}

@@ -1,0 +1,91 @@
+// Command lm decides a single lattice mapping (LM) problem: can output o
+// of a PLA be realized on an m×n switching lattice?
+//
+// Usage:
+//
+//	lm -m 3 -n 3 [-o 0] [-dimacs] [-primal|-dual] [-conflicts N] file.pla
+//
+// With -dimacs the SAT encoding is printed in DIMACS CNF format instead
+// of being solved, for cross-checking against external solvers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/lattice-tools/janus"
+	"github.com/lattice-tools/janus/internal/encode"
+	"github.com/lattice-tools/janus/internal/lattice"
+	"github.com/lattice-tools/janus/internal/minimize"
+	"github.com/lattice-tools/janus/internal/sat"
+)
+
+func main() {
+	var (
+		m         = flag.Int("m", 3, "lattice rows")
+		n         = flag.Int("n", 3, "lattice columns")
+		outIdx    = flag.Int("o", 0, "PLA output index")
+		dimacs    = flag.Bool("dimacs", false, "print the CNF in DIMACS format instead of solving")
+		primal    = flag.Bool("primal", false, "force the primal (top-bottom) formulation")
+		dualMode  = flag.Bool("dual", false, "force the dual (left-right) formulation")
+		conflicts = flag.Int64("conflicts", 0, "SAT conflict budget (0 = unlimited)")
+	)
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	p, err := janus.ParsePLA(in)
+	if err != nil {
+		fatal(err)
+	}
+	if *outIdx < 0 || *outIdx >= len(p.Covers) {
+		fatal(fmt.Errorf("output index %d out of range", *outIdx))
+	}
+	isop, dual := minimize.AutoDual(p.Covers[*outIdx])
+	g := lattice.Grid{M: *m, N: *n}
+
+	opt := encode.Options{Limits: sat.Limits{MaxConflicts: *conflicts}}
+	switch {
+	case *primal:
+		opt.Mode = encode.PrimalOnly
+	case *dualMode:
+		opt.Mode = encode.DualOnly
+	}
+
+	if *dimacs {
+		b, usedDual, err := encode.BuildCNF(isop, dual, g, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "c LM %s on %v, dual=%v, %d vars %d clauses\n",
+			p.OutputNames[*outIdx], g, usedDual, b.NumVars(), b.NumClauses())
+		if err := b.WriteDIMACS(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	res, err := encode.SolveLM(isop, dual, g, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s on %v: %v (dual=%v, %d vars, %d clauses, %d conflicts)\n",
+		p.OutputNames[*outIdx], g, res.Status, res.UsedDual,
+		res.Vars, res.Clauses, res.SolverStat.Conflicts)
+	if res.Assignment != nil {
+		fmt.Println(res.Assignment.Format(p.InputNames))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Command plamin is a two-level logic minimizer for PLA files — the role
+// espresso plays in the paper's flow. Each output is brought into
+// irredundant prime (ISOP) form with a minimized product count; with
+// -exact the minimum-cardinality cover is computed (small functions).
+//
+// Usage:
+//
+//	plamin [-exact] [-dual] [-stats] [file.pla]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/lattice-tools/janus"
+	"github.com/lattice-tools/janus/internal/minimize"
+	"github.com/lattice-tools/janus/internal/pla"
+)
+
+func main() {
+	var (
+		exact = flag.Bool("exact", false, "exact minimum product count (small functions only)")
+		dual  = flag.Bool("dual", false, "also print each output's dual ISOP as comments")
+		stats = flag.Bool("stats", false, "print per-output statistics to stderr")
+	)
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	p, err := janus.ParsePLA(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	out := &pla.File{
+		Inputs:      p.Inputs,
+		Outputs:     p.Outputs,
+		InputNames:  p.InputNames,
+		OutputNames: p.OutputNames,
+		Covers:      make([]janus.Cover, len(p.Covers)),
+	}
+	for o, cov := range p.Covers {
+		var m janus.Cover
+		if *exact {
+			m = minimize.Exact(cov)
+		} else {
+			m = minimize.Auto(cov)
+		}
+		out.Covers[o] = m
+		if *stats {
+			fmt.Fprintf(os.Stderr, "%s: %d -> %d products, degree %d, %d literals\n",
+				p.OutputNames[o], len(cov.Cubes), len(m.Cubes), m.Degree(), m.NumLiterals())
+		}
+		if *dual {
+			fmt.Printf("# dual(%s) = %s\n", p.OutputNames[o],
+				minimize.Auto(m.Dual()).Format(p.InputNames))
+		}
+	}
+	if err := janus.WritePLA(os.Stdout, out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "plamin:", err)
+	os.Exit(1)
+}

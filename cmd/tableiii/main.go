@@ -1,0 +1,68 @@
+// Command tableiii regenerates Table III of the paper: the
+// straight-forward multi-function packing versus JANUS-MF on the bw,
+// misex1 and squar5 blocks.
+//
+// Usage:
+//
+//	tableiii [-run regexp] [-conflicts N] [-timeout D]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"github.com/lattice-tools/janus"
+	"github.com/lattice-tools/janus/internal/benchdata"
+)
+
+func main() {
+	var (
+		runRe     = flag.String("run", "", "only instances whose name matches this regexp")
+		conflicts = flag.Int64("conflicts", 100000, "SAT conflict budget per LM call")
+		timeout   = flag.Duration("timeout", 0, "SAT time budget per LM call")
+		budget    = flag.Duration("budget", 0, "wall-clock budget per output synthesis (0 = unlimited)")
+	)
+	flag.Parse()
+
+	var re *regexp.Regexp
+	if *runRe != "" {
+		var err error
+		re, err = regexp.Compile(*runRe)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tableiii:", err)
+			os.Exit(1)
+		}
+	}
+	opt := janus.Options{Budget: *budget}
+	opt.Encode.Limits = janus.SATLimits{MaxConflicts: *conflicts, Timeout: *timeout}
+
+	fmt.Printf("%-8s %4s | %-22s %-22s | %-14s %-14s\n",
+		"instance", "#out", "measured SF (sol size s)", "measured MF (sol size s)",
+		"paper SF", "paper MF")
+	for _, mi := range benchdata.TableIII() {
+		if re != nil && !re.MatchString(mi.Name) {
+			continue
+		}
+		outs := mi.Outputs()
+		sf, err := janus.SynthesizeMulti(outs, opt, false)
+		if err != nil {
+			fmt.Printf("%-8s SF error: %v\n", mi.Name, err)
+			continue
+		}
+		mf, err := janus.SynthesizeMulti(outs, opt, true)
+		if err != nil {
+			fmt.Printf("%-8s MF error: %v\n", mi.Name, err)
+			continue
+		}
+		fmt.Printf("%-8s %4d | %-7s %5d %6.1fs | %-7s %5d %6.1fs | %-6s %5d | %-6s %5d\n",
+			mi.Name, mi.NumOut,
+			sf.Sol(), sf.Lattice.Size(), sf.Elapsed.Seconds(),
+			mf.Sol(), mf.Lattice.Size(), mf.Elapsed.Seconds(),
+			mi.PaperSF, mi.PaperSFSize, mi.PaperMF, mi.PaperMFSize)
+		if mf.Lattice.Size() > sf.Lattice.Size() {
+			fmt.Printf("%-8s WARNING: MF worse than straight-forward\n", mi.Name)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package janus_test
+
+import (
+	"fmt"
+
+	"github.com/lattice-tools/janus"
+)
+
+// Synthesize the paper's running example and print the lattice shape.
+func ExampleSynthesize() {
+	f := janus.NewCover(4,
+		janus.Product([]int{0, 1, 2, 3}, nil), // abcd
+		janus.Product(nil, []int{0, 1, 2, 3})) // a'b'c'd'
+	res, err := janus.Synthesize(f, janus.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%dx%d lattice, %d switches\n", res.Grid.M, res.Grid.N, res.Size)
+	// Output:
+	// 4x2 lattice, 8 switches
+}
+
+// Inspect a lattice function: the products of f_2x2 are its two columns.
+func ExampleLatticeFunction() {
+	f := janus.LatticeFunction(janus.Grid{M: 2, N: 2})
+	fmt.Println(len(f.Cubes), "products:", f)
+	// Output:
+	// 2 products: x0&x2 + x1&x3
+}
+
+// Minimize a redundant sum of products before synthesis.
+func ExampleMinimize() {
+	f := janus.NewCover(2,
+		janus.Product([]int{0, 1}, nil),   // ab
+		janus.Product([]int{0}, []int{1})) // ab'
+	fmt.Println(janus.Minimize(f))
+	// Output:
+	// x0
+}
+
+// Compute the structural lower bound and the best constructive upper
+// bounds for the paper's Fig. 4 function.
+func ExampleBounds() {
+	f := janus.NewCover(5,
+		janus.Product([]int{2, 3}, nil),
+		janus.Product(nil, []int{2, 3}),
+		janus.Product([]int{0, 1, 4}, nil),
+		janus.Product(nil, []int{0, 1, 4}))
+	bs := janus.Bounds(f, true)
+	fmt.Printf("lb=%d best=%s %d switches\n",
+		janus.LowerBound(f, 100), bs[0].Name, bs[0].Size())
+	// Output:
+	// lb=12 best=IPS 15 switches
+}
+
+// Decide a single lattice-mapping problem (the paper's LM subproblem).
+func ExampleMapOnto() {
+	f := janus.NewCover(4,
+		janus.Product([]int{0, 1, 2, 3}, nil),
+		janus.Product(nil, []int{0, 1, 2, 3}))
+	r, err := janus.MapOnto(f, janus.Grid{M: 4, N: 2}, janus.EncodeOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(r.Status)
+	// Output:
+	// SAT
+}

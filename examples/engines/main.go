@@ -1,0 +1,43 @@
+// Engine comparison: solve the same lattice mapping problem with the
+// monolithic truth-table encoding and with the CEGAR engine, showing the
+// lazy engine constrains far fewer entries (visible as variables) while
+// agreeing on the answer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/lattice-tools/janus"
+)
+
+func main() {
+	// A 6-input function: the monolithic encoding constrains all 64
+	// truth-table entries; CEGAR discovers how few actually matter.
+	f := janus.NewCover(6,
+		janus.Product([]int{0, 1, 2}, nil),
+		janus.Product(nil, []int{3, 4}),
+		janus.Product([]int{5, 0}, []int{2}))
+
+	for _, cegar := range []bool{false, true} {
+		name := "monolithic"
+		if cegar {
+			name = "CEGAR"
+		}
+		opt := janus.Options{}
+		opt.Encode.CEGAR = cegar
+		start := time.Now()
+		res, err := janus.Synthesize(f, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s: %dx%d (%d switches) in %v, %d LM problems\n",
+			name, res.Grid.M, res.Grid.N, res.Size,
+			time.Since(start).Round(time.Millisecond), res.LMSolved)
+		if !res.Assignment.Realizes(res.ISOP) {
+			log.Fatalf("%s produced an unverified result", name)
+		}
+	}
+	fmt.Println("both engines verified against the full truth table")
+}

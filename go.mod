@@ -1,0 +1,3 @@
+module github.com/lattice-tools/janus
+
+go 1.22

@@ -1,0 +1,88 @@
+package janus
+
+import (
+	"testing"
+	"time"
+
+	"github.com/lattice-tools/janus/internal/benchdata"
+)
+
+// TestIntegrationBenchSuite runs the full pipeline — generated instance →
+// minimization → bounds → dichotomic search → verified lattice — over a
+// set of Table II instances under a small budget, checking the invariants
+// that must hold regardless of budget: verification, bound ordering, and
+// never losing to the initial upper bound.
+func TestIntegrationBenchSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep in short mode")
+	}
+	names := []string{
+		"b12_03", "c17_01", "dc1_00", "dc1_02", "dc1_03",
+		"misex1_00", "misex1_04", "mp2d_06", "ex5_14", "clpl_00",
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			inst := benchdata.Lookup(name)
+			f, ok := inst.Function()
+			if !ok {
+				t.Fatalf("generator missed profile for %s", name)
+			}
+			opt := Options{Budget: 20 * time.Second}
+			opt.Encode.Limits = SATLimits{MaxConflicts: 20000, Timeout: 4 * time.Second}
+			res, err := Synthesize(f, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Assignment == nil || !res.Assignment.Realizes(res.ISOP) {
+				t.Fatal("unverified result")
+			}
+			if res.LB > res.Size || res.Size > res.NUB || res.NUB > res.OUB {
+				t.Fatalf("bound ordering violated: lb=%d size=%d nub=%d oub=%d",
+					res.LB, res.Size, res.NUB, res.OUB)
+			}
+			if !res.ISOP.Equiv(f) {
+				t.Fatal("ISOP drifted from the instance function")
+			}
+		})
+	}
+}
+
+// TestIntegrationPaperProfileStats cross-checks that the suite profile
+// statistics used throughout Table II (average #in/#pi/δ) match the
+// paper's reported averages (7.2 / 7.3 / 4.0).
+func TestIntegrationPaperProfileStats(t *testing.T) {
+	var in, pi, deg int
+	insts := benchdata.TableII()
+	for _, inst := range insts {
+		in += inst.Inputs
+		pi += inst.PI
+		deg += inst.Degree
+	}
+	n := float64(len(insts))
+	if got := float64(in) / n; got < 7.1 || got > 7.3 {
+		t.Fatalf("avg #in = %.2f, paper reports 7.2", got)
+	}
+	if got := float64(pi) / n; got < 7.2 || got > 7.4 {
+		t.Fatalf("avg #pi = %.2f, paper reports 7.3", got)
+	}
+	if got := float64(deg) / n; got < 3.9 || got > 4.1 {
+		t.Fatalf("avg δ = %.2f, paper reports 4.0", got)
+	}
+	// And the paper's average bounds columns.
+	var lb, oub, nub int
+	for _, inst := range insts {
+		lb += inst.PaperLB
+		oub += inst.PaperOUB
+		nub += inst.PaperNUB
+	}
+	if got := float64(lb) / n; got < 15.4 || got > 15.6 {
+		t.Fatalf("avg paper lb = %.2f, paper reports 15.5", got)
+	}
+	if got := float64(oub) / n; got < 41.0 || got > 41.2 {
+		t.Fatalf("avg paper oub = %.2f, paper reports 41.1", got)
+	}
+	if got := float64(nub) / n; got < 23.4 || got > 23.6 {
+		t.Fatalf("avg paper nub = %.2f, paper reports 23.5", got)
+	}
+}

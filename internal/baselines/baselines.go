@@ -1,0 +1,233 @@
+// Package baselines implements the comparison algorithms of the paper's
+// Table II: the exact and approximate lattice synthesis methods of Gange,
+// Søndergaard & Stuckey (TODAES 2014) and the promising-candidate
+// heuristic of Morgül & Altun (Integration). All three reuse this
+// repository's substrates (ISOP minimizer, path enumeration, LM SAT
+// encoding) but differ from JANUS exactly where the papers differ: the
+// bounds they start from, the candidate sets they explore, and the
+// restrictions they impose on the LM formulation.
+package baselines
+
+import (
+	"time"
+
+	"github.com/lattice-tools/janus/internal/bounds"
+	"github.com/lattice-tools/janus/internal/cube"
+	"github.com/lattice-tools/janus/internal/encode"
+	"github.com/lattice-tools/janus/internal/lattice"
+	"github.com/lattice-tools/janus/internal/minimize"
+	"github.com/lattice-tools/janus/internal/sat"
+)
+
+// Result mirrors core.Result for the baseline algorithms.
+type Result struct {
+	Assignment *lattice.Assignment
+	Grid       lattice.Grid
+	Size       int
+	LB, UB     int
+	LMSolved   int
+	Elapsed    time.Duration
+	// Decided is false when a SAT budget expired somewhere, so the answer
+	// may be above the method's true result (mirrors the paper's 6-hour
+	// timeout rows).
+	Decided bool
+}
+
+// Options configures a baseline run.
+type Options struct {
+	// Limits bounds each SAT call.
+	Limits sat.Limits
+	// MaxCells skips lattices above the implementation limit.
+	MaxCells int
+}
+
+func (o Options) maxCells() int {
+	if o.MaxCells <= 0 || o.MaxCells > 64 {
+		return 64
+	}
+	return o.MaxCells
+}
+
+// prepare minimizes the target and computes the classical bounds used by
+// the 2014 methods: lower bound from the structural walk, upper bound from
+// the DP/PS/DPS constructions only (no improved bounds).
+func prepare(f cube.Cover) (isop, dual cube.Cover, lb int, inc *lattice.Assignment) {
+	isop, dual = minimize.AutoDual(f)
+	bs := bounds.All(isop, dual, false)
+	if len(bs) == 0 {
+		return isop, dual, 1, nil
+	}
+	inc = bs[0].Assignment
+	lb = bounds.LowerBound(isop, dual, inc.Size())
+	return isop, dual, lb, inc
+}
+
+// search runs the dichotomic search shared by the baselines with the given
+// LM options.
+func search(isop, dual cube.Cover, lb int, inc *lattice.Assignment,
+	lmOpt encode.Options, opt Options) Result {
+	start := time.Now()
+	res := Result{LB: lb, Decided: true}
+	if inc == nil {
+		return res
+	}
+	res.UB = inc.Size()
+	ub := inc.Size()
+	for lb < ub {
+		mp := (lb + ub) / 2
+		found := false
+		for _, g := range maximalGrids(mp, lb, opt.maxCells()) {
+			r, err := encode.SolveLM(isop, dual, g, lmOpt)
+			if err != nil {
+				break
+			}
+			if !r.Structural {
+				res.LMSolved++
+			}
+			if r.Status == sat.Unknown {
+				res.Decided = false
+			}
+			if r.Status == sat.Sat {
+				inc = r.Assignment
+				ub = g.Cells()
+				found = true
+				break
+			}
+		}
+		if !found {
+			lb = mp + 1
+		}
+	}
+	res.Assignment = inc
+	res.Grid = inc.Grid
+	res.Size = inc.Size()
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+func maximalGrids(size, lb, maxCells int) []lattice.Grid {
+	if size > maxCells {
+		size = maxCells
+	}
+	seen := map[lattice.Grid]bool{}
+	var gs []lattice.Grid
+	for m := 1; m <= size; m++ {
+		n := size / m
+		if n < 1 {
+			break
+		}
+		g := lattice.Grid{M: m, N: n}
+		if g.Cells() < lb || seen[g] {
+			continue
+		}
+		seen[g] = true
+		gs = append(gs, g)
+	}
+	// Near-square first, matching the candidate order of the core search.
+	for i := 1; i < len(gs); i++ {
+		for j := i; j > 0; j-- {
+			di := abs(gs[j].M - gs[j].N)
+			dj := abs(gs[j-1].M - gs[j-1].N)
+			if di < dj {
+				gs[j], gs[j-1] = gs[j-1], gs[j]
+			}
+		}
+	}
+	return gs
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// ExactGange models the exact method of [6]: a dichotomic search between
+// the classical bounds where the LM problem allows any literal on any
+// switch (FullTL) and imposes none of JANUS's approximate constraints.
+func ExactGange(f cube.Cover, opt Options) (Result, error) {
+	isop, dual, lb, inc := prepare(f)
+	lmOpt := encode.Options{
+		FullTL:        true,
+		DisableDegree: true,
+		Limits:        opt.Limits,
+	}
+	r := search(isop, dual, lb, inc, lmOpt, opt)
+	return r, nil
+}
+
+// ApproxGange models the approximate method of [6]: the same search but
+// with the restrictive per-product realization rule, which shrinks the SAT
+// problems yet can exclude valid mappings (the paper's ex5_15/ex5_17/ex5_23
+// failure mode).
+func ApproxGange(f cube.Cover, opt Options) (Result, error) {
+	isop, dual, lb, inc := prepare(f)
+	lmOpt := encode.Options{
+		StrictProducts: true,
+		DisableDegree:  true,
+		Limits:         opt.Limits,
+	}
+	r := search(isop, dual, lb, inc, lmOpt, opt)
+	return r, nil
+}
+
+// Heuristic models the method of [11]: instead of a full dichotomic
+// search it probes a fixed set of promising lattice shapes derived from
+// the function's profile — heights around the degree δ and around the
+// dual degree γ — taking the first (smallest) shape that fits. Because it
+// does not consider all candidates its result may be far from optimal.
+func Heuristic(f cube.Cover, opt Options) (Result, error) {
+	start := time.Now()
+	isop, dual, lb, inc := prepare(f)
+	res := Result{LB: lb, Decided: true}
+	if inc == nil {
+		return res, nil
+	}
+	res.UB = inc.Size()
+	lmOpt := encode.Options{DisableDegree: true, Limits: opt.Limits}
+
+	delta := isop.Degree()
+	gamma := dual.Degree()
+	var shapes []lattice.Grid
+	for _, m := range []int{delta - 1, delta, delta + 1, gamma - 1, gamma, gamma + 1} {
+		if m < 2 {
+			continue
+		}
+		for n := 2; m*n <= inc.Size() && n <= 16; n++ {
+			if m*n >= lb {
+				shapes = append(shapes, lattice.Grid{M: m, N: n})
+			}
+		}
+	}
+	// Smallest candidates first; the first hit wins.
+	for i := 1; i < len(shapes); i++ {
+		for j := i; j > 0 && shapes[j].Cells() < shapes[j-1].Cells(); j-- {
+			shapes[j], shapes[j-1] = shapes[j-1], shapes[j]
+		}
+	}
+	for _, g := range shapes {
+		if g.Cells() > opt.maxCells() {
+			continue
+		}
+		r, err := encode.SolveLM(isop, dual, g, lmOpt)
+		if err != nil {
+			continue
+		}
+		if !r.Structural {
+			res.LMSolved++
+		}
+		if r.Status == sat.Unknown {
+			res.Decided = false
+		}
+		if r.Status == sat.Sat {
+			inc = r.Assignment
+			break
+		}
+	}
+	res.Assignment = inc
+	res.Grid = inc.Grid
+	res.Size = inc.Size()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,111 @@
+package baselines
+
+import (
+	"testing"
+
+	"github.com/lattice-tools/janus/internal/core"
+	"github.com/lattice-tools/janus/internal/cube"
+)
+
+func fig4() cube.Cover {
+	return cube.NewCover(5,
+		cube.FromLiterals([]int{2, 3}, nil),
+		cube.FromLiterals(nil, []int{2, 3}),
+		cube.FromLiterals([]int{0, 1, 4}, nil),
+		cube.FromLiterals(nil, []int{0, 1, 4}))
+}
+
+func fig1() cube.Cover {
+	return cube.NewCover(4,
+		cube.FromLiterals([]int{0, 1, 2, 3}, nil),
+		cube.FromLiterals(nil, []int{0, 1, 2, 3}))
+}
+
+func TestExactGangeFig1(t *testing.T) {
+	r, err := ExactGange(fig1(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size != 8 {
+		t.Fatalf("exact size = %d, want 8", r.Size)
+	}
+	if r.Assignment == nil {
+		t.Fatal("missing assignment")
+	}
+}
+
+func TestExactGangeFig4(t *testing.T) {
+	r, err := ExactGange(fig4(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size != 12 {
+		t.Fatalf("exact size = %d, want 12", r.Size)
+	}
+}
+
+func TestApproxGangeSoundButMaybeWeaker(t *testing.T) {
+	for _, f := range []cube.Cover{fig1(), fig4()} {
+		r, err := ApproxGange(f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := ExactGange(f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Size < ex.Size {
+			t.Fatalf("approximate (%d) beat exact (%d)", r.Size, ex.Size)
+		}
+		if r.Assignment == nil {
+			t.Fatal("approximate produced no assignment")
+		}
+	}
+}
+
+func TestHeuristicReturnsVerifiedResult(t *testing.T) {
+	for _, f := range []cube.Cover{fig1(), fig4()} {
+		r, err := Heuristic(f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Assignment == nil {
+			t.Fatal("no result")
+		}
+		if r.Size < r.LB {
+			t.Fatalf("size %d below lb %d", r.Size, r.LB)
+		}
+	}
+}
+
+// TestJanusNotWorseThanBaselines mirrors the paper's headline: on these
+// instances JANUS's result is at most the baselines' (Table II shows JANUS
+// has the smallest average lattice size).
+func TestJanusNotWorseThanBaselines(t *testing.T) {
+	fns := []cube.Cover{
+		fig1(), fig4(),
+		cube.NewCover(3,
+			cube.FromLiterals([]int{0, 1}, nil),
+			cube.FromLiterals([]int{0, 2}, nil),
+			cube.FromLiterals([]int{1, 2}, nil)),
+	}
+	for i, f := range fns {
+		jr, err := core.Synthesize(f, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, run := range map[string]func(cube.Cover, Options) (Result, error){
+			"exact":  ExactGange,
+			"approx": ApproxGange,
+			"heur":   Heuristic,
+		} {
+			br, err := run(f, Options{})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if jr.Size > br.Size {
+				t.Fatalf("fn %d: JANUS (%d) worse than %s (%d)", i, jr.Size, name, br.Size)
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package baselines
+
+import (
+	"time"
+
+	"github.com/lattice-tools/janus/internal/cube"
+	"github.com/lattice-tools/janus/internal/lattice"
+	"github.com/lattice-tools/janus/internal/minimize"
+)
+
+// Decompose models the decomposition-based synthesis of Bernasconi et
+// al. [9]: split the target on a Shannon variable, synthesize the two
+// cofactors with the exact method, and compose the sub-lattices. The
+// composition follows the lattice algebra used throughout this
+// repository:
+//
+//	f = x'·f0 + x·f1
+//
+// is realized by prefixing each cofactor's lattice with a full row of
+// the corresponding literal (a literal row ANDs the block's function)
+// and packing the two blocks side by side behind a constant-0 isolation
+// column. The splitting variable minimizing the composed size estimate
+// is chosen; when no split beats synthesizing f directly, the direct
+// result is returned — mirroring the paper's observation that the
+// decomposition methods trail the direct ones on average.
+func Decompose(f cube.Cover, opt Options) (Result, error) {
+	start := time.Now()
+	isop := minimize.Auto(f)
+	if isop.IsZero() || isop.IsOne() || isop.PopCountSupport() < 2 {
+		return ExactGange(f, opt)
+	}
+
+	direct, err := ExactGange(f, opt)
+	if err != nil {
+		return Result{}, err
+	}
+
+	bestVar, bestEst := -1, direct.Size
+	support := isop.Support()
+	for v := 0; v < isop.N; v++ {
+		if support&(1<<uint(v)) == 0 {
+			continue
+		}
+		f0 := minimize.Auto(isop.Cofactor(v, false))
+		f1 := minimize.Auto(isop.Cofactor(v, true))
+		if f0.IsZero() || f1.IsZero() || f0.IsOne() || f1.IsOne() {
+			continue // degenerate split; the direct route already covers it
+		}
+		// Cheap size estimate from the PS bound of each cofactor.
+		est := estimateCompose(f0, f1)
+		if est < bestEst {
+			bestEst, bestVar = est, v
+		}
+	}
+	if bestVar < 0 {
+		direct.Elapsed = time.Since(start)
+		return direct, nil
+	}
+
+	f0 := minimize.Auto(isop.Cofactor(bestVar, false))
+	f1 := minimize.Auto(isop.Cofactor(bestVar, true))
+	r0, err := ExactGange(f0, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	r1, err := ExactGange(f1, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	composed := compose(bestVar, r0.Assignment, r1.Assignment)
+	res := Result{
+		LB:       direct.LB,
+		UB:       direct.UB,
+		LMSolved: direct.LMSolved + r0.LMSolved + r1.LMSolved,
+		Decided:  direct.Decided && r0.Decided && r1.Decided,
+	}
+	if composed != nil && composed.Realizes(isop) && composed.Size() < direct.Size {
+		res.Assignment = composed
+	} else {
+		res.Assignment = direct.Assignment
+	}
+	res.Grid = res.Assignment.Grid
+	res.Size = res.Assignment.Size()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// estimateCompose estimates the composed lattice size from the cofactor
+// profiles: height max(δ0, δ1)+1, width #products0 separated + #products1.
+func estimateCompose(f0, f1 cube.Cover) int {
+	h := f0.Degree()
+	if d := f1.Degree(); d > h {
+		h = d
+	}
+	return (h + 1) * (2*len(f0.Cubes) - 1 + 1 + 2*len(f1.Cubes) - 1)
+}
+
+// compose builds the lattice for x'·A + x·B: literal rows on top of each
+// block, blocks packed behind a constant-0 column, shorter block padded
+// with constant 1 below.
+func compose(v int, a, b *lattice.Assignment) *lattice.Assignment {
+	if a == nil || b == nil {
+		return nil
+	}
+	rows := a.Grid.M
+	if b.Grid.M > rows {
+		rows = b.Grid.M
+	}
+	rows++ // the literal row
+	cols := a.Grid.N + 1 + b.Grid.N
+	out := lattice.NewAssignment(lattice.Grid{M: rows, N: cols})
+	place := func(blk *lattice.Assignment, col0 int, lit lattice.Entry) {
+		for c := 0; c < blk.Grid.N; c++ {
+			out.Set(0, col0+c, lit)
+		}
+		for r := 0; r < rows-1; r++ {
+			for c := 0; c < blk.Grid.N; c++ {
+				if r < blk.Grid.M {
+					out.Set(r+1, col0+c, blk.At(r, c))
+				} else {
+					out.Set(r+1, col0+c, lattice.Entry{Kind: lattice.Const1})
+				}
+			}
+		}
+	}
+	place(a, 0, lattice.Entry{Kind: lattice.NegVar, Var: v})
+	place(b, a.Grid.N+1, lattice.Entry{Kind: lattice.PosVar, Var: v})
+	return out
+}

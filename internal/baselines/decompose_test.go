@@ -1,0 +1,96 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/lattice-tools/janus/internal/cube"
+	"github.com/lattice-tools/janus/internal/lattice"
+	"github.com/lattice-tools/janus/internal/minimize"
+)
+
+func TestComposeSemantics(t *testing.T) {
+	// f0 = bc (for a'=1 side), f1 = b'c' -> f = a'bc + ab'c'.
+	f0 := cube.NewCover(3, cube.FromLiterals([]int{1, 2}, nil))
+	f1 := cube.NewCover(3, cube.FromLiterals(nil, []int{1, 2}))
+	r0, err := ExactGange(f0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := ExactGange(f1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	composed := compose(0, r0.Assignment, r1.Assignment)
+	want := cube.NewCover(3,
+		cube.FromLiterals([]int{1, 2}, []int{0}),
+		cube.FromLiterals([]int{0}, []int{1, 2}))
+	if composed == nil || !composed.Realizes(want) {
+		t.Fatalf("composition wrong:\n%s", composed)
+	}
+}
+
+func TestComposeLiteralRow(t *testing.T) {
+	// A literal row ANDs the block: block = single cell b; composed left
+	// half computes a'·b.
+	blk := lattice.NewAssignment(lattice.Grid{M: 1, N: 1})
+	blk.Set(0, 0, lattice.Entry{Kind: lattice.PosVar, Var: 1})
+	out := compose(0, blk, blk)
+	// Left region (col 0) realizes a'b, right region (col 2) realizes ab.
+	f := cube.NewCover(2,
+		cube.FromLiterals([]int{1}, []int{0}),
+		cube.FromLiterals([]int{0, 1}, nil))
+	if !out.Realizes(f) {
+		t.Fatalf("literal-row composition wrong:\n%s", out)
+	}
+}
+
+func TestDecomposeVerifiedAndNoWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 6; trial++ {
+		f := cube.Zero(4)
+		for i := 0; i < 3; i++ {
+			var c cube.Cube
+			for v := 0; v < 4; v++ {
+				switch rng.Intn(3) {
+				case 0:
+					c = c.WithPos(v)
+				case 1:
+					c = c.WithNeg(v)
+				}
+			}
+			if c.NumLiterals() > 0 {
+				f.Cubes = append(f.Cubes, c)
+			}
+		}
+		isop := minimize.Auto(f)
+		if isop.IsZero() || isop.IsOne() {
+			continue
+		}
+		r, err := Decompose(f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Assignment == nil || !r.Assignment.Realizes(isop) {
+			t.Fatalf("trial %d: unverified decomposition result", trial)
+		}
+		direct, err := ExactGange(f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Size > direct.Size {
+			t.Fatalf("trial %d: Decompose (%d) worse than its own direct fallback (%d)",
+				trial, r.Size, direct.Size)
+		}
+	}
+}
+
+func TestDecomposeConstants(t *testing.T) {
+	r, err := Decompose(cube.One(2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Assignment == nil {
+		t.Fatal("constant decomposition failed")
+	}
+}

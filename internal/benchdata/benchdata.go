@@ -1,0 +1,274 @@
+// Package benchdata provides the benchmark instances behind the paper's
+// Tables II and III.
+//
+// The original 48 single-output instances are individual outputs of MCNC
+// benchmark circuits that are not redistributable here, so this package
+// generates a deterministic synthetic stand-in for each: a function whose
+// ISOP profile — input count, prime implicant count, and degree — matches
+// the profile the paper reports for that instance (the quantities every
+// algorithm under test actually consumes). The paper's reported bounds and
+// per-algorithm results are embedded alongside so harnesses can print
+// paper-vs-measured rows. See DESIGN.md for the substitution rationale.
+package benchdata
+
+import (
+	"math/rand"
+	"sync"
+
+	"github.com/lattice-tools/janus/internal/cube"
+	"github.com/lattice-tools/janus/internal/minimize"
+)
+
+// Instance is one Table II row: the paper's profile and reported numbers
+// plus the generated stand-in function.
+type Instance struct {
+	Name   string
+	Inputs int // paper's #in
+	PI     int // paper's #pi (ISOP prime implicants)
+	Degree int // paper's δ
+
+	// Paper-reported search-space columns.
+	PaperLB, PaperOUB, PaperNUB int
+	// Paper-reported solutions per algorithm: keys "p9" ([9]), "p11"
+	// ([11]), "approx" (approximate [6]), "exact" (exact [6]), "janus".
+	Paper map[string]string
+
+	seed int64
+
+	once    sync.Once
+	fn      cube.Cover
+	genOK   bool
+	genPI   int
+	genDeg  int
+	genVars int
+}
+
+// Function returns the generated stand-in function in ISOP form. The
+// second result reports whether the generator matched the paper profile
+// exactly (it does for every shipped instance; the flag guards future
+// edits).
+func (in *Instance) Function() (cube.Cover, bool) {
+	in.once.Do(func() {
+		in.fn, in.genOK = generate(in.Inputs, in.PI, in.Degree, in.seed)
+		in.genPI = len(in.fn.Cubes)
+		in.genDeg = in.fn.Degree()
+		in.genVars = minimize.SupportSize(in.fn)
+	})
+	return in.fn, in.genOK
+}
+
+// GeneratedProfile reports the achieved (#pi, δ, support) of Function.
+func (in *Instance) GeneratedProfile() (pi, degree, support int) {
+	in.Function()
+	return in.genPI, in.genDeg, in.genVars
+}
+
+// generate searches seeded random covers for one whose Auto-minimized ISOP
+// has exactly pi products of maximum degree delta using all n inputs.
+func generate(n, pi, delta int, seed int64) (cube.Cover, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	var best cube.Cover
+	bestScore := 1 << 30
+	for attempt := 0; attempt < 2000; attempt++ {
+		// Vary the minimum cube size across attempts; dense profiles need
+		// large, pairwise-disjoint cubes to survive minimization, sparse
+		// ones benefit from smaller companions.
+		lo := delta - 2 - attempt%3
+		if lo < 1 {
+			lo = 1
+		}
+		disjoint := attempt%2 == 1
+		if disjoint {
+			lo = delta - 1
+			if lo < 1 {
+				lo = 1
+			}
+		}
+		raw := genCover(rng, n, pi, delta, lo, disjoint)
+		if raw == nil {
+			continue
+		}
+		isop := minimize.Auto(*raw)
+		dPI := abs(len(isop.Cubes) - pi)
+		dDeg := abs(isop.Degree() - delta)
+		dSup := n - minimize.SupportSize(isop)
+		if dPI == 0 && dDeg == 0 && dSup == 0 {
+			return isop, true
+		}
+		if score := dPI*4 + dDeg*8 + dSup; score < bestScore {
+			bestScore = score
+			best = isop
+		}
+	}
+	return best, false
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// genCover draws pi cubes whose literal counts peak at delta, rejecting
+// containment and direct merges so the minimizer is unlikely to collapse
+// the cover.
+func genCover(rng *rand.Rand, n, pi, delta, lo int, disjoint bool) *cube.Cover {
+	f := cube.Zero(n)
+	for i := 0; i < pi; i++ {
+		k := delta
+		if i > 0 {
+			k = lo + rng.Intn(delta-lo+1)
+		}
+		if k > n {
+			k = n
+		}
+		placed := false
+		for try := 0; try < 300 && !placed; try++ {
+			c := randomCubeK(rng, n, k)
+			if !compatible(c, f.Cubes) {
+				continue
+			}
+			if disjoint && intersectsAny(c, f.Cubes) {
+				continue
+			}
+			f.Cubes = append(f.Cubes, c)
+			placed = true
+		}
+		if !placed {
+			return nil
+		}
+	}
+	return &f
+}
+
+func intersectsAny(c cube.Cube, existing []cube.Cube) bool {
+	for _, e := range existing {
+		if c.Distance(e) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// randomCubeK draws a cube with exactly k literals on distinct variables.
+func randomCubeK(rng *rand.Rand, n, k int) cube.Cube {
+	perm := rng.Perm(n)
+	var c cube.Cube
+	for _, v := range perm[:k] {
+		if rng.Intn(2) == 0 {
+			c = c.WithPos(v)
+		} else {
+			c = c.WithNeg(v)
+		}
+	}
+	return c
+}
+
+// compatible rejects cubes that are contained in (or contain) an existing
+// cube or that would merge with one by consensus into a cube covering both.
+func compatible(c cube.Cube, existing []cube.Cube) bool {
+	for _, e := range existing {
+		if e.Contains(c) || c.Contains(e) {
+			return false
+		}
+		if cons, ok := c.Consensus(e); ok {
+			if cons.Contains(c) && cons.Contains(e) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+var tableIIOnce sync.Once
+var tableII []*Instance
+
+// TableII returns the 48 single-function instances of the paper's Table
+// II, in paper order.
+func TableII() []*Instance {
+	tableIIOnce.Do(func() {
+		for i, r := range tableIIRows {
+			tableII = append(tableII, &Instance{
+				Name: r.name, Inputs: r.in, PI: r.pi, Degree: r.delta,
+				PaperLB: r.lb, PaperOUB: r.oub, PaperNUB: r.nub,
+				Paper: map[string]string{
+					"p9": r.p9, "p11": r.p11, "approx": r.approx,
+					"exact": r.exact, "janus": r.janus,
+				},
+				seed: int64(1000 + i*17),
+			})
+		}
+	})
+	return tableII
+}
+
+// Lookup returns the Table II instance with the given name, or nil.
+func Lookup(name string) *Instance {
+	for _, in := range TableII() {
+		if in.Name == name {
+			return in
+		}
+	}
+	return nil
+}
+
+type row struct {
+	name                        string
+	in, pi, delta, lb, oub, nub int
+	p9, p11, approx, exact      string
+	janus                       string
+}
+
+// tableIIRows transcribes Table II of the paper (profile, bounds and the
+// sol columns of [9], [11], approximate [6], exact [6], and JANUS).
+var tableIIRows = []row{
+	{"5xp1_1", 7, 11, 5, 16, 105, 32, "5x10", "5x5", "6x5", "5x5", "4x6"},
+	{"5xp1_3", 6, 14, 5, 15, 135, 40, "4x11", "5x27", "11x4", "11x4", "4x9"},
+	{"b12_00", 6, 4, 4, 9, 24, 20, "4x3", "4x3", "4x3", "4x3", "4x3"},
+	{"b12_01", 7, 7, 4, 12, 35, 20, "4x4", "4x4", "4x4", "5x3", "5x3"},
+	{"b12_02", 8, 7, 5, 12, 42, 24, "5x8", "4x4", "5x4", "4x4", "4x4"},
+	{"b12_03", 4, 4, 2, 6, 6, 6, "2x5", "3x2", "3x2", "3x2", "3x2"},
+	{"b12_06", 9, 9, 6, 15, 44, 24, "5x4", "5x4", "5x4", "5x4", "5x4"},
+	{"b12_07", 7, 6, 4, 16, 24, 24, "6x8", "3x6", "5x4", "3x6", "3x6"},
+	{"c17_01", 4, 4, 2, 6, 6, 6, "3x2", "3x2", "3x2", "3x2", "3x2"},
+	{"clpl_00", 7, 4, 4, 12, 16, 15, "4x5", "3x4", "3x4", "3x4", "3x4"},
+	{"clpl_03", 11, 6, 6, 16, 36, 24, "6x9", "3x6", "3x6", "3x6", "3x6"},
+	{"clpl_04", 9, 5, 5, 15, 25, 18, "5x8", "3x5", "3x5", "3x5", "3x5"},
+	{"dc1_00", 4, 4, 3, 9, 16, 15, "4x4", "3x3", "3x3", "3x3", "3x3"},
+	{"dc1_02", 4, 4, 3, 12, 16, 15, "3x5", "3x4", "3x4", "4x3", "4x3"},
+	{"dc1_03", 4, 4, 4, 9, 20, 18, "4x5", "4x3", "4x3", "4x3", "4x3"},
+	{"ex5_06", 7, 8, 3, 16, 32, 24, "3x10", "3x6", "3x7", "3x6", "3x6"},
+	{"ex5_07", 8, 10, 4, 24, 40, 27, "3x13", "4x6", "3x9", "4x6", "3x8"},
+	{"ex5_08", 8, 7, 3, 20, 21, 21, "3x9", "3x7", "3x7", "3x7", "3x7"},
+	{"ex5_09", 8, 10, 4, 24, 40, 30, "3x11", "4x6", "3x8", "4x6", "3x8"},
+	{"ex5_10", 6, 7, 3, 16, 21, 21, "3x9", "3x6", "3x6", "3x6", "3x6"},
+	{"ex5_12", 8, 9, 3, 15, 25, 20, "5x9", "3x5", "3x5", "3x5", "3x5"},
+	{"ex5_13", 8, 9, 3, 24, 36, 27, "3x13", "3x8", "4x6", "4x6", "3x8"},
+	{"ex5_14", 8, 8, 2, 16, 16, 16, "3x11", "2x8", "2x8", "2x8", "2x8"},
+	{"ex5_15", 8, 12, 4, 20, 72, 33, "4x13", "4x7", "6x12", "6x5", "3x8"},
+	{"ex5_17", 8, 14, 4, 20, 105, 42, "4x10", "4x7", "10x6", "6x6", "3x9"},
+	{"ex5_19", 8, 6, 3, 16, 18, 18, "5x7", "3x6", "3x6", "3x6", "3x6"},
+	{"ex5_21", 8, 10, 3, 20, 57, 30, "4x9", "3x7", "4x7", "3x7", "3x7"},
+	{"ex5_22", 7, 6, 3, 16, 33, 21, "3x8", "3x6", "3x6", "3x6", "3x6"},
+	{"ex5_23", 8, 12, 4, 24, 92, 36, "4x11", "4x8", "11x5", "3x9", "3x9"},
+	{"ex5_24", 8, 14, 5, 20, 105, 33, "5x14", "15x7", "3x11", "4x7", "3x8"},
+	{"ex5_25", 8, 8, 3, 20, 40, 27, "3x8", "3x7", "3x7", "3x7", "3x7"},
+	{"ex5_26", 8, 10, 3, 20, 57, 30, "4x11", "3x7", "3x9", "3x7", "3x7"},
+	{"ex5_27", 8, 11, 4, 20, 77, 27, "4x10", "4x6", "3x8", "4x6", "3x8"},
+	{"ex5_28", 8, 9, 3, 24, 27, 27, "3x13", "3x8", "3x8", "6x4", "3x8"},
+	{"misex1_00", 4, 2, 4, 6, 8, 8, "4x3", "4x2", "4x2", "4x2", "4x2"},
+	{"misex1_01", 6, 5, 4, 12, 35, 18, "5x5", "3x5", "4x4", "3x5", "3x5"},
+	{"misex1_02", 7, 5, 5, 12, 40, 25, "5x5", "5x4", "5x4", "5x4", "5x4"},
+	{"misex1_03", 7, 4, 5, 9, 28, 20, "4x6", "4x3", "5x3", "4x3", "4x3"},
+	{"misex1_04", 4, 5, 4, 12, 25, 18, "4x7", "3x4", "5x3", "3x4", "3x4"},
+	{"misex1_05", 6, 6, 4, 12, 42, 21, "4x6", "4x4", "5x4", "4x4", "4x4"},
+	{"misex1_06", 6, 5, 4, 12, 35, 18, "4x7", "5x3", "5x3", "5x3", "5x3"},
+	{"misex1_07", 6, 4, 4, 9, 20, 18, "5x5", "4x3", "5x3", "4x3", "4x3"},
+	{"mp2d_01", 10, 8, 5, 24, 48, 30, "4x11", "5x7", "4x7", "3x9", "3x9"},
+	{"mp2d_02", 11, 10, 4, 28, 50, 33, "4x13", "4x9", "4x7", "4x7", "4x7"},
+	{"mp2d_03", 10, 5, 8, 15, 72, 32, "7x6", "5x5", "4x6", "6x4", "4x6"},
+	{"mp2d_04", 10, 6, 9, 15, 57, 36, "7x3", "7x3", "7x3", "7x3", "7x3"},
+	{"mp2d_06", 5, 3, 5, 8, 18, 16, "5x4", "6x2", "7x2", "4x3", "6x2"},
+	{"newtag_00", 8, 8, 3, 16, 32, 24, "3x8", "3x6", "3x6", "3x6", "3x6"},
+}

@@ -1,0 +1,114 @@
+package benchdata
+
+import (
+	"testing"
+
+	"github.com/lattice-tools/janus/internal/minimize"
+)
+
+func TestTableIIComplete(t *testing.T) {
+	insts := TableII()
+	if len(insts) != 48 {
+		t.Fatalf("TableII has %d instances, want 48", len(insts))
+	}
+	seen := map[string]bool{}
+	for _, in := range insts {
+		if seen[in.Name] {
+			t.Fatalf("duplicate instance %s", in.Name)
+		}
+		seen[in.Name] = true
+		if in.PaperLB <= 0 || in.PaperNUB < in.PaperLB || in.PaperOUB < in.PaperNUB {
+			t.Fatalf("%s: inconsistent paper bounds lb=%d nub=%d oub=%d",
+				in.Name, in.PaperLB, in.PaperNUB, in.PaperOUB)
+		}
+		for _, k := range []string{"p9", "p11", "approx", "exact", "janus"} {
+			if in.Paper[k] == "" {
+				t.Fatalf("%s: missing paper column %s", in.Name, k)
+			}
+		}
+	}
+}
+
+// TestGeneratorMatchesProfiles is the suite's core guarantee: every
+// generated stand-in matches the paper's (#in, #pi, δ) exactly and is an
+// irredundant prime cover.
+func TestGeneratorMatchesProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generator sweep in short mode")
+	}
+	for _, in := range TableII() {
+		f, ok := in.Function()
+		if !ok {
+			pi, deg, sup := in.GeneratedProfile()
+			t.Errorf("%s: generator missed profile: got pi=%d δ=%d support=%d, want pi=%d δ=%d support=%d",
+				in.Name, pi, deg, sup, in.PI, in.Degree, in.Inputs)
+			continue
+		}
+		if len(f.Cubes) != in.PI || f.Degree() != in.Degree {
+			t.Errorf("%s: profile mismatch", in.Name)
+		}
+		if minimize.SupportSize(f) != in.Inputs {
+			t.Errorf("%s: support mismatch", in.Name)
+		}
+		if !minimize.IsIrredundantPrimeCover(f, f) {
+			t.Errorf("%s: not an ISOP", in.Name)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := Lookup("b12_00")
+	f1, _ := a.Function()
+	f2, _ := a.Function()
+	if !f1.Equiv(f2) {
+		t.Fatal("Function not cached/deterministic")
+	}
+	// A fresh instance with the same seed regenerates the same function.
+	b := &Instance{Name: a.Name, Inputs: a.Inputs, PI: a.PI, Degree: a.Degree, seed: a.seed}
+	f3, _ := b.Function()
+	if !f1.Equiv(f3) {
+		t.Fatal("generation not deterministic across instances")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if Lookup("ex5_14") == nil {
+		t.Fatal("ex5_14 missing")
+	}
+	if Lookup("nope") != nil {
+		t.Fatal("phantom instance")
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	ms := TableIII()
+	if len(ms) != 3 {
+		t.Fatalf("TableIII has %d instances", len(ms))
+	}
+	for _, mi := range ms {
+		outs := mi.Outputs()
+		if len(outs) != mi.NumOut {
+			t.Fatalf("%s: %d outputs, want %d", mi.Name, len(outs), mi.NumOut)
+		}
+		for i, f := range outs {
+			if f.IsZero() || f.IsOne() {
+				t.Fatalf("%s output %d is constant", mi.Name, i)
+			}
+		}
+	}
+	if LookupMulti("squar5") == nil || LookupMulti("zzz") != nil {
+		t.Fatal("LookupMulti wrong")
+	}
+}
+
+func TestSquar5IsExact(t *testing.T) {
+	outs := LookupMulti("squar5").Outputs()
+	for k, f := range outs {
+		for x := uint64(0); x < 32; x++ {
+			want := (x*x)>>uint(k+2)&1 == 1
+			if f.Eval(x) != want {
+				t.Fatalf("squar5 bit %d wrong at x=%d", k, x)
+			}
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package benchdata
+
+import "testing"
+
+// TestPaperBoundReductionHeadline recomputes the paper's headline — "the
+// use of new methods ... improves the existing upper bound of [11] by
+// 42.8% on average" — from the embedded Table II columns. The figure is
+// the reduction of the column averages (41.1 → 23.5).
+func TestPaperBoundReductionHeadline(t *testing.T) {
+	var oub, nub float64
+	insts := TableII()
+	for _, in := range insts {
+		oub += float64(in.PaperOUB)
+		nub += float64(in.PaperNUB)
+	}
+	reduction := 100 * (oub - nub) / oub
+	if reduction < 42.0 || reduction > 43.5 {
+		t.Fatalf("aggregate oub->nub reduction = %.1f%%, paper reports 42.8%%", reduction)
+	}
+}

@@ -1,0 +1,145 @@
+package benchdata
+
+import (
+	"math/rand"
+	"sync"
+
+	"github.com/lattice-tools/janus/internal/cube"
+	"github.com/lattice-tools/janus/internal/minimize"
+)
+
+// MultiInstance is one Table III row: a multi-output block plus the
+// paper's reported straight-forward and JANUS-MF solutions.
+type MultiInstance struct {
+	Name                     string
+	NumOut                   int
+	PaperSF                  string // straight-forward method solution, e.g. "5x119"
+	PaperMF                  string // JANUS-MF solution
+	PaperSFSize, PaperMFSize int
+
+	build func() []cube.Cover
+
+	once sync.Once
+	outs []cube.Cover
+}
+
+// Outputs returns the per-output functions (Auto-minimized ISOPs).
+func (mi *MultiInstance) Outputs() []cube.Cover {
+	mi.once.Do(func() { mi.outs = mi.build() })
+	return mi.outs
+}
+
+var tableIIIOnce sync.Once
+var tableIII []*MultiInstance
+
+// TableIII returns the three multi-output instances of the paper's Table
+// III. squar5 is implemented exactly (the low eight bits of the square of
+// the 5-bit input); bw and misex1 are synthetic stand-ins with the right
+// output counts and realistic per-output profiles (misex1's outputs reuse
+// the Table II misex1_xx profiles).
+func TableIII() []*MultiInstance {
+	tableIIIOnce.Do(func() {
+		tableIII = []*MultiInstance{
+			{
+				Name: "bw", NumOut: 28,
+				PaperSF: "5x119", PaperMF: "3x135",
+				PaperSFSize: 595, PaperMFSize: 405,
+				build: buildBW,
+			},
+			{
+				Name: "misex1", NumOut: 7,
+				PaperSF: "5x31", PaperMF: "3x42",
+				PaperSFSize: 155, PaperMFSize: 126,
+				build: buildMisex1,
+			},
+			{
+				Name: "squar5", NumOut: 8,
+				PaperSF: "5x31", PaperMF: "3x36",
+				PaperSFSize: 155, PaperMFSize: 108,
+				build: buildSquar5,
+			},
+		}
+	})
+	return tableIII
+}
+
+// LookupMulti returns the Table III instance with the given name, or nil.
+func LookupMulti(name string) *MultiInstance {
+	for _, mi := range TableIII() {
+		if mi.Name == name {
+			return mi
+		}
+	}
+	return nil
+}
+
+// buildSquar5 builds the exact squar5 substitute: output k is bit k+2 of
+// x·x for the 5-bit input x (bit 1 of a square is constantly 0 and bit 0
+// is just x0, so the eight high bits 2..9 are the non-trivial outputs).
+func buildSquar5() []cube.Cover {
+	outs := make([]cube.Cover, 8)
+	for k := 0; k < 8; k++ {
+		f := cube.Zero(5)
+		for x := uint64(0); x < 32; x++ {
+			if (x*x)>>uint(k+2)&1 == 1 {
+				var c cube.Cube
+				for v := 0; v < 5; v++ {
+					if x&(1<<uint(v)) != 0 {
+						c = c.WithPos(v)
+					} else {
+						c = c.WithNeg(v)
+					}
+				}
+				f.Cubes = append(f.Cubes, c)
+			}
+		}
+		outs[k] = minimize.Auto(f)
+	}
+	return outs
+}
+
+// buildBW draws 28 seeded random 5-input functions with small on-sets,
+// mirroring bw's many simple outputs.
+func buildBW() []cube.Cover {
+	outs := make([]cube.Cover, 0, 28)
+	rng := rand.New(rand.NewSource(2024))
+	for len(outs) < 28 {
+		f := cube.Zero(5)
+		k := 2 + rng.Intn(3)
+		for i := 0; i < k; i++ {
+			var c cube.Cube
+			lits := 2 + rng.Intn(3)
+			perm := rng.Perm(5)
+			for _, v := range perm[:lits] {
+				if rng.Intn(2) == 0 {
+					c = c.WithPos(v)
+				} else {
+					c = c.WithNeg(v)
+				}
+			}
+			f.Cubes = append(f.Cubes, c)
+		}
+		m := minimize.Auto(f)
+		if m.IsZero() || m.IsOne() {
+			continue
+		}
+		outs = append(outs, m)
+	}
+	return outs
+}
+
+// buildMisex1 reuses the Table II misex1_00..misex1_07 profiles (the
+// paper's misex1 block has 7 outputs).
+func buildMisex1() []cube.Cover {
+	names := []string{
+		"misex1_00", "misex1_01", "misex1_02", "misex1_03",
+		"misex1_04", "misex1_05", "misex1_06",
+	}
+	outs := make([]cube.Cover, 0, len(names))
+	for _, n := range names {
+		in := Lookup(n)
+		f, _ := in.Function()
+		outs = append(outs, f)
+	}
+	return outs
+}

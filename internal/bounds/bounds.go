@@ -1,0 +1,647 @@
+// Package bounds computes the initial lower and upper bounds of the
+// lattice synthesis problem (Section III-B of the paper).
+//
+// The lower bound walks lattice sizes upward until some m×n factorization
+// passes the structural check on the target and its dual. Upper bounds are
+// constructive: the dual production method DP [Altun & Riedel 2012], the
+// product separation method PS [Gange et al. 2014], the dual product
+// separation method DPS [Morgül & Altun], and the paper's improved
+// variants IPS and IDPS that reclaim isolation columns/rows. Every
+// construction returned by this package has been verified against the
+// target's truth table by lattice connectivity simulation; improved
+// variants fall back tier by tier to the plain constructions when a rule
+// application does not verify on a pathological input.
+package bounds
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/lattice-tools/janus/internal/cube"
+	"github.com/lattice-tools/janus/internal/encode"
+	"github.com/lattice-tools/janus/internal/lattice"
+	"github.com/lattice-tools/janus/internal/minimize"
+)
+
+// Bound is a named, verified upper-bound construction.
+type Bound struct {
+	Name       string
+	Assignment *lattice.Assignment
+}
+
+// Size returns the number of switches of the bound's lattice.
+func (b Bound) Size() int { return b.Assignment.Size() }
+
+// Grid returns the bound's lattice dimensions.
+func (b Bound) Grid() lattice.Grid { return b.Assignment.Grid }
+
+// literalEntries lists a cube's literals as lattice entries in variable
+// order.
+func literalEntries(c cube.Cube) []lattice.Entry {
+	var es []lattice.Entry
+	for v := 0; v < cube.MaxVars; v++ {
+		bit := uint64(1) << uint(v)
+		if c.Pos&bit != 0 {
+			es = append(es, lattice.Entry{Kind: lattice.PosVar, Var: v})
+		}
+		if c.Neg&bit != 0 {
+			es = append(es, lattice.Entry{Kind: lattice.NegVar, Var: v})
+		}
+	}
+	return es
+}
+
+// sharedLiteral returns a literal common to both cubes.
+func sharedLiteral(a, b cube.Cube) (lattice.Entry, bool) {
+	if m := a.Pos & b.Pos; m != 0 {
+		return lattice.Entry{Kind: lattice.PosVar, Var: lowBit(m)}, true
+	}
+	if m := a.Neg & b.Neg; m != 0 {
+		return lattice.Entry{Kind: lattice.NegVar, Var: lowBit(m)}, true
+	}
+	return lattice.Entry{}, false
+}
+
+func lowBit(m uint64) int {
+	for v := 0; v < 64; v++ {
+		if m&(1<<uint(v)) != 0 {
+			return v
+		}
+	}
+	return -1
+}
+
+// ErrNoSharedLiteral is returned by DP when a product of the target and a
+// product of the dual share no literal, which contradicts duality and
+// indicates the two covers do not describe dual functions.
+var ErrNoSharedLiteral = errors.New("bounds: target and dual products share no literal")
+
+// DP builds the dual production bound [3]: an m×n lattice with n the
+// number of target products (columns) and m the number of dual products
+// (rows); cell (i,j) carries a literal shared by target product j and dual
+// product i.
+func DP(target, targetDual cube.Cover) (*lattice.Assignment, error) {
+	n := len(target.Cubes)
+	m := len(targetDual.Cubes)
+	if n == 0 || m == 0 {
+		return nil, errors.New("bounds: DP needs non-constant target")
+	}
+	a := lattice.NewAssignment(lattice.Grid{M: m, N: n})
+	for i, d := range targetDual.Cubes {
+		for j, p := range target.Cubes {
+			e, ok := sharedLiteral(p, d)
+			if !ok {
+				return nil, fmt.Errorf("%w: product %d, dual %d", ErrNoSharedLiteral, j, i)
+			}
+			a.Set(i, j, e)
+		}
+	}
+	return a, nil
+}
+
+// PS builds the product separation bound [6]: target products on columns
+// padded with constant 1, separated by constant-0 isolation columns,
+// giving a δ×(2n−1) lattice.
+func PS(target cube.Cover) *lattice.Assignment {
+	delta := target.Degree()
+	n := len(target.Cubes)
+	g := lattice.Grid{M: delta, N: 2*n - 1}
+	a := lattice.NewAssignment(g)
+	for j, p := range target.Cubes {
+		col := 2 * j
+		for r, e := range literalEntries(p) {
+			a.Set(r, col, e)
+		}
+		for r := p.NumLiterals(); r < delta; r++ {
+			a.Set(r, col, lattice.Entry{Kind: lattice.Const1})
+		}
+		// Isolation columns stay at the zero value Const0.
+	}
+	return a
+}
+
+// DPS builds the dual product separation bound [11]: dual products on rows
+// padded with constant 0, separated by constant-1 isolation rows, giving a
+// (2m−1)×γ lattice.
+func DPS(targetDual cube.Cover) *lattice.Assignment {
+	gamma := targetDual.Degree()
+	m := len(targetDual.Cubes)
+	g := lattice.Grid{M: 2*m - 1, N: gamma}
+	a := lattice.NewAssignment(g)
+	for i, d := range targetDual.Cubes {
+		row := 2 * i
+		for c, e := range literalEntries(d) {
+			a.Set(row, c, e)
+		}
+		// Padding cells stay Const0.
+		if row+1 < g.M {
+			for c := 0; c < gamma; c++ {
+				a.Set(row+1, c, lattice.Entry{Kind: lattice.Const1})
+			}
+		}
+	}
+	return a
+}
+
+// pairScanLimit bounds the quadratic rule-(iii) pairing scan; beyond this
+// many long products the scan (one logic minimization per candidate pair)
+// would dominate the whole synthesis.
+const pairScanLimit = 24
+
+// ipsTier parameterizes the IPS assembly aggressiveness.
+type ipsTier struct {
+	usePairs       bool // rule (iii): merge two long products on a DP block
+	doublesSelf    bool // rule (ii): two-literal products need no isolation
+	singlesIsolate bool // rule (i): single-literal products act as isolators
+}
+
+var ipsTiers = []ipsTier{
+	{true, true, true},
+	{false, true, true},
+	{false, false, true},
+	{false, false, false}, // equivalent to plain PS
+}
+
+// column is one assembled lattice column plus its isolation behaviour.
+type column struct {
+	entries  []lattice.Entry // length = delta
+	isolates bool            // safe to stand between two needy columns
+	needy    bool            // requires isolation from needy neighbours
+}
+
+// IPS builds the improved product separation bound (Section III-B). The
+// returned assignment is verified; tiers of the improvement rules are
+// dropped until verification succeeds, bottoming out at plain PS.
+func IPS(target cube.Cover) *lattice.Assignment {
+	for _, tier := range ipsTiers {
+		if a := buildIPS(target, tier); a != nil && a.Realizes(target) {
+			return a
+		}
+	}
+	return PS(target) // unreachable in practice; PS always verifies
+}
+
+func buildIPS(target cube.Cover, tier ipsTier) *lattice.Assignment {
+	delta := target.Degree()
+	if delta == 0 {
+		return nil
+	}
+	var singles, doubles, longs []cube.Cube
+	for _, p := range target.Cubes {
+		switch p.NumLiterals() {
+		case 1:
+			singles = append(singles, p)
+		case 2:
+			doubles = append(doubles, p)
+		default:
+			longs = append(longs, p)
+		}
+	}
+	if !tier.doublesSelf {
+		longs = append(longs, doubles...)
+		doubles = nil
+	}
+	if !tier.singlesIsolate {
+		longs = append(longs, singles...)
+		singles = nil
+	}
+	// Deterministic order: big products first.
+	sort.Slice(longs, func(i, j int) bool { return longs[j].Less(longs[i]) })
+
+	// Rule (iii): pair long products whose two-product sub-function has a
+	// dual with at most delta products; realize the pair with DP on a
+	// delta×2 block. The pairing scan is quadratic with a minimization per
+	// pair, so it is skipped for covers beyond pairScanLimit products.
+	type pairBlock struct{ cols [2][]lattice.Entry }
+	var pairBlocks []pairBlock
+	if len(longs) > pairScanLimit {
+		tier.usePairs = false
+	}
+	if tier.usePairs {
+		used := make([]bool, len(longs))
+		var rest []cube.Cube
+		for i := 0; i < len(longs); i++ {
+			if used[i] {
+				continue
+			}
+			paired := false
+			for j := i + 1; j < len(longs) && !paired; j++ {
+				if used[j] {
+					continue
+				}
+				sub := cube.NewCover(target.N, longs[i], longs[j])
+				subDual := minimize.Auto(sub.Dual())
+				if len(subDual.Cubes) > delta {
+					continue
+				}
+				dp, err := DP(sub, subDual)
+				if err != nil {
+					continue
+				}
+				blk, ok := padBlockRows(dp, delta)
+				if !ok || !blk.Realizes(sub) {
+					continue
+				}
+				var pb pairBlock
+				for c := 0; c < 2; c++ {
+					col := make([]lattice.Entry, delta)
+					for r := 0; r < delta; r++ {
+						col[r] = blk.At(r, c)
+					}
+					pb.cols[c] = col
+				}
+				pairBlocks = append(pairBlocks, pb)
+				used[i], used[j] = true, true
+				paired = true
+			}
+			if !paired {
+				rest = append(rest, longs[i])
+				used[i] = true
+			}
+		}
+		longs = rest
+	}
+
+	// Column factories.
+	longCol := func(p cube.Cube) column {
+		es := make([]lattice.Entry, delta)
+		lits := literalEntries(p)
+		for r := 0; r < delta; r++ {
+			if r < len(lits) {
+				es[r] = lits[r]
+			} else {
+				es[r] = lattice.Entry{Kind: lattice.Const1}
+			}
+		}
+		return column{entries: es, needy: true}
+	}
+	doubleCol := func(p cube.Cube) column {
+		lits := literalEntries(p)
+		es := make([]lattice.Entry, delta)
+		for r := 0; r < delta-1; r++ {
+			es[r] = lits[0]
+		}
+		es[delta-1] = lits[1]
+		return column{entries: es, isolates: true}
+	}
+	singleCol := func(p cube.Cube) column {
+		lits := literalEntries(p)
+		es := make([]lattice.Entry, delta)
+		for r := 0; r < delta; r++ {
+			es[r] = lits[0]
+		}
+		return column{entries: es, isolates: true}
+	}
+	zeroCol := func() column {
+		return column{entries: make([]lattice.Entry, delta), isolates: true}
+	}
+
+	// Needy units: pair blocks (two needy columns glued together) and long
+	// columns. A crossing path through a single-product column always picks
+	// up that product's literal and stays an implicant, so single columns
+	// are free isolators anywhere. Double columns are safe next to each
+	// other (every path reaching the bottom picks up a complete double) but
+	// not next to needy units, so they form one trailing group behind a
+	// separator. Anything else needs a constant-0 column.
+	var units [][]column
+	for _, pb := range pairBlocks {
+		units = append(units, []column{
+			{entries: pb.cols[0], needy: true},
+			{entries: pb.cols[1], needy: true},
+		})
+	}
+	for _, p := range longs {
+		units = append(units, []column{longCol(p)})
+	}
+	var isolators []column
+	for _, p := range singles {
+		isolators = append(isolators, singleCol(p))
+	}
+	var doubleGroup []column
+	for _, p := range doubles {
+		doubleGroup = append(doubleGroup, doubleCol(p))
+	}
+
+	var cols []column
+	sepIdx := 0
+	sep := func() column {
+		if sepIdx < len(isolators) {
+			c := isolators[sepIdx]
+			sepIdx++
+			return c
+		}
+		return zeroCol()
+	}
+	for i, u := range units {
+		if i > 0 {
+			cols = append(cols, sep())
+		}
+		cols = append(cols, u...)
+	}
+	if len(doubleGroup) > 0 {
+		if len(cols) > 0 {
+			cols = append(cols, sep())
+		}
+		cols = append(cols, doubleGroup...)
+	}
+	// Remaining single-product columns are safe anywhere; append them.
+	for ; sepIdx < len(isolators); sepIdx++ {
+		cols = append(cols, isolators[sepIdx])
+	}
+	if len(cols) == 0 {
+		return nil
+	}
+	a := lattice.NewAssignment(lattice.Grid{M: delta, N: len(cols)})
+	for c, col := range cols {
+		for r := 0; r < delta; r++ {
+			a.Set(r, c, col.entries[r])
+		}
+	}
+	return a
+}
+
+// padBlockRows stretches an assignment to the requested number of rows by
+// duplicating its last row, which preserves the top–bottom function.
+func padBlockRows(a *lattice.Assignment, rows int) (*lattice.Assignment, bool) {
+	if a.Grid.M > rows {
+		return nil, false
+	}
+	if a.Grid.M == rows {
+		return a, true
+	}
+	b := lattice.NewAssignment(lattice.Grid{M: rows, N: a.Grid.N})
+	for r := 0; r < rows; r++ {
+		src := r
+		if src >= a.Grid.M {
+			src = a.Grid.M - 1
+		}
+		for c := 0; c < a.Grid.N; c++ {
+			b.Set(r, c, a.At(src, c))
+		}
+	}
+	return b, true
+}
+
+// padBlockCols stretches an assignment to the requested number of columns
+// by duplicating its last column.
+func padBlockCols(a *lattice.Assignment, cols int) (*lattice.Assignment, bool) {
+	if a.Grid.N > cols {
+		return nil, false
+	}
+	if a.Grid.N == cols {
+		return a, true
+	}
+	b := lattice.NewAssignment(lattice.Grid{M: a.Grid.M, N: cols})
+	for c := 0; c < cols; c++ {
+		src := c
+		if src >= a.Grid.N {
+			src = a.Grid.N - 1
+		}
+		for r := 0; r < a.Grid.M; r++ {
+			b.Set(r, c, a.At(r, src))
+		}
+	}
+	return b, true
+}
+
+// IDPS builds the improved dual product separation bound: the row-wise
+// mirror of IPS operating on the dual products, with constant-1 isolation
+// rows reclaimed by the mirrored rules. Verified with tier fallback down
+// to plain DPS.
+func IDPS(target, targetDual cube.Cover) *lattice.Assignment {
+	for _, tier := range ipsTiers {
+		if a := buildIDPS(target, targetDual, tier); a != nil && a.Realizes(target) {
+			return a
+		}
+	}
+	return DPS(targetDual)
+}
+
+func buildIDPS(target, targetDual cube.Cover, tier ipsTier) *lattice.Assignment {
+	gamma := targetDual.Degree()
+	if gamma == 0 {
+		return nil
+	}
+	var singles, doubles, longs []cube.Cube
+	for _, d := range targetDual.Cubes {
+		switch d.NumLiterals() {
+		case 1:
+			singles = append(singles, d)
+		case 2:
+			doubles = append(doubles, d)
+		default:
+			longs = append(longs, d)
+		}
+	}
+	if !tier.doublesSelf {
+		longs = append(longs, doubles...)
+		doubles = nil
+	}
+	if !tier.singlesIsolate {
+		longs = append(longs, singles...)
+		singles = nil
+	}
+	sort.Slice(longs, func(i, j int) bool { return longs[j].Less(longs[i]) })
+
+	type pairBlock struct{ rows [2][]lattice.Entry }
+	var pairBlocks []pairBlock
+	if len(longs) > pairScanLimit {
+		tier.usePairs = false
+	}
+	if tier.usePairs {
+		used := make([]bool, len(longs))
+		var rest []cube.Cube
+		for i := 0; i < len(longs); i++ {
+			if used[i] {
+				continue
+			}
+			paired := false
+			for j := i + 1; j < len(longs) && !paired; j++ {
+				if used[j] {
+					continue
+				}
+				// Sub-function whose dual cover is the two clauses: the
+				// conjunction of the clauses, i.e. dual of (p + q).
+				subDualCover := cube.NewCover(target.N, longs[i], longs[j])
+				sub := minimize.Auto(subDualCover.Dual())
+				if len(sub.Cubes) > gamma {
+					continue
+				}
+				dp, err := DP(sub, subDualCover)
+				if err != nil {
+					continue
+				}
+				blk, ok := padBlockCols(dp, gamma)
+				if !ok || blk.Grid.M != 2 || !blk.Realizes(sub) {
+					continue
+				}
+				var pb pairBlock
+				for r := 0; r < 2; r++ {
+					row := make([]lattice.Entry, gamma)
+					for c := 0; c < gamma; c++ {
+						row[c] = blk.At(r, c)
+					}
+					pb.rows[r] = row
+				}
+				pairBlocks = append(pairBlocks, pb)
+				used[i], used[j] = true, true
+				paired = true
+			}
+			if !paired {
+				rest = append(rest, longs[i])
+				used[i] = true
+			}
+		}
+		longs = rest
+	}
+
+	type row struct {
+		entries []lattice.Entry
+		needy   bool
+	}
+	longRow := func(d cube.Cube) row {
+		es := make([]lattice.Entry, gamma)
+		lits := literalEntries(d)
+		for c := 0; c < gamma; c++ {
+			if c < len(lits) {
+				es[c] = lits[c]
+			} // padding stays Const0
+		}
+		return row{entries: es, needy: true}
+	}
+	doubleRow := func(d cube.Cube) row {
+		lits := literalEntries(d)
+		es := make([]lattice.Entry, gamma)
+		for c := 0; c < gamma-1; c++ {
+			es[c] = lits[0]
+		}
+		es[gamma-1] = lits[1]
+		return row{entries: es}
+	}
+	singleRow := func(d cube.Cube) row {
+		lits := literalEntries(d)
+		es := make([]lattice.Entry, gamma)
+		for c := 0; c < gamma; c++ {
+			es[c] = lits[0]
+		}
+		return row{entries: es}
+	}
+	oneRow := func() row {
+		es := make([]lattice.Entry, gamma)
+		for c := 0; c < gamma; c++ {
+			es[c] = lattice.Entry{Kind: lattice.Const1}
+		}
+		return row{entries: es}
+	}
+
+	// Mirror of the IPS assembly: single-clause rows isolate anywhere,
+	// double-clause rows are safe among themselves, needy rows (pair blocks
+	// and long clauses) are separated by singles or constant-1 rows.
+	var units [][]row
+	for _, pb := range pairBlocks {
+		units = append(units, []row{
+			{entries: pb.rows[0], needy: true},
+			{entries: pb.rows[1], needy: true},
+		})
+	}
+	for _, d := range longs {
+		units = append(units, []row{longRow(d)})
+	}
+	var isolators []row
+	for _, d := range singles {
+		isolators = append(isolators, singleRow(d))
+	}
+	var doubleGroup []row
+	for _, d := range doubles {
+		doubleGroup = append(doubleGroup, doubleRow(d))
+	}
+
+	var rows []row
+	sepIdx := 0
+	sep := func() row {
+		if sepIdx < len(isolators) {
+			r := isolators[sepIdx]
+			sepIdx++
+			return r
+		}
+		return oneRow()
+	}
+	for i, u := range units {
+		if i > 0 {
+			rows = append(rows, sep())
+		}
+		rows = append(rows, u...)
+	}
+	if len(doubleGroup) > 0 {
+		if len(rows) > 0 {
+			rows = append(rows, sep())
+		}
+		rows = append(rows, doubleGroup...)
+	}
+	for ; sepIdx < len(isolators); sepIdx++ {
+		rows = append(rows, isolators[sepIdx])
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	a := lattice.NewAssignment(lattice.Grid{M: len(rows), N: gamma})
+	for r, rw := range rows {
+		for c := 0; c < gamma; c++ {
+			a.Set(r, c, rw.entries[c])
+		}
+	}
+	return a
+}
+
+// LowerBound walks lattice sizes upward from 1 and returns the first size
+// for which some factorization passes the structural check on the target
+// and its dual, capped at max (which is returned when nothing smaller
+// passes).
+func LowerBound(target, targetDual cube.Cover, max int) int {
+	for s := 1; s < max; s++ {
+		for m := 1; m <= s; m++ {
+			if s%m != 0 {
+				continue
+			}
+			n := s / m
+			if encode.StructuralCheck(target, targetDual, lattice.Grid{M: m, N: n}) {
+				return s
+			}
+		}
+	}
+	return max
+}
+
+// All runs every bound construction, verifies each against the target, and
+// returns the verified bounds sorted by size. improved selects whether the
+// IPS/IDPS variants are included (the paper's "nub" vs "oub").
+func All(target, targetDual cube.Cover, improved bool) []Bound {
+	if target.IsZero() || target.IsOne() {
+		a := lattice.NewAssignment(lattice.Grid{M: 1, N: 1})
+		if target.IsOne() {
+			a.Entries[0] = lattice.Entry{Kind: lattice.Const1}
+		}
+		return []Bound{{Name: "const", Assignment: a}}
+	}
+	var bs []Bound
+	add := func(name string, a *lattice.Assignment, err error) {
+		if err != nil || a == nil {
+			return
+		}
+		if !a.Realizes(target) {
+			return
+		}
+		bs = append(bs, Bound{Name: name, Assignment: a})
+	}
+	dp, err := DP(target, targetDual)
+	add("DP", dp, err)
+	add("PS", PS(target), nil)
+	add("DPS", DPS(targetDual), nil)
+	if improved {
+		add("IPS", IPS(target), nil)
+		add("IDPS", IDPS(target, targetDual), nil)
+	}
+	sort.SliceStable(bs, func(i, j int) bool { return bs[i].Size() < bs[j].Size() })
+	return bs
+}

@@ -1,0 +1,215 @@
+package cnf
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/lattice-tools/janus/internal/sat"
+)
+
+func TestExactlyOne(t *testing.T) {
+	b := NewBuilder()
+	x := b.NewVar("x")
+	y := b.NewVar("y")
+	z := b.NewVar("z")
+	b.ExactlyOne(x, y, z)
+	s := b.SolverFrom()
+	if st := s.Solve(sat.Limits{}); st != sat.Sat {
+		t.Fatalf("status = %v", st)
+	}
+	count := 0
+	for _, l := range []sat.Lit{x, y, z} {
+		if s.Model(l.Var()) {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("exactly-one violated: %d set", count)
+	}
+	// Forcing two of them true must be unsat.
+	b.Add(x)
+	b.Add(y)
+	if st := b.SolverFrom().Solve(sat.Limits{}); st != sat.Unsat {
+		t.Fatalf("two-true should be UNSAT, got %v", st)
+	}
+}
+
+func TestAndGateSemantics(t *testing.T) {
+	// Enumerate all input combinations; out must equal AND.
+	for mask := 0; mask < 8; mask++ {
+		for _, outVal := range []bool{false, true} {
+			b := NewBuilder()
+			out := b.NewVar("out")
+			ins := []sat.Lit{b.NewVar("a"), b.NewVar("b"), b.NewVar("c")}
+			b.AndGate(out, ins...)
+			for i, in := range ins {
+				if mask&(1<<uint(i)) != 0 {
+					b.Add(in)
+				} else {
+					b.Add(in.Not())
+				}
+			}
+			if outVal {
+				b.Add(out)
+			} else {
+				b.Add(out.Not())
+			}
+			want := mask == 7
+			st := b.SolverFrom().Solve(sat.Limits{})
+			if (st == sat.Sat) != (want == outVal) {
+				t.Fatalf("AND gate: mask=%b out=%v status=%v", mask, outVal, st)
+			}
+		}
+	}
+}
+
+func TestOrGateSemantics(t *testing.T) {
+	for mask := 0; mask < 8; mask++ {
+		for _, outVal := range []bool{false, true} {
+			b := NewBuilder()
+			out := b.NewVar("out")
+			ins := []sat.Lit{b.NewVar("a"), b.NewVar("b"), b.NewVar("c")}
+			b.OrGate(out, ins...)
+			for i, in := range ins {
+				if mask&(1<<uint(i)) != 0 {
+					b.Add(in)
+				} else {
+					b.Add(in.Not())
+				}
+			}
+			if outVal {
+				b.Add(out)
+			} else {
+				b.Add(out.Not())
+			}
+			want := mask != 0
+			st := b.SolverFrom().Solve(sat.Limits{})
+			if (st == sat.Sat) != (want == outVal) {
+				t.Fatalf("OR gate: mask=%b out=%v status=%v", mask, outVal, st)
+			}
+		}
+	}
+}
+
+// TestFigure2POS reproduces the paper's Fig. 2: a two-level AND-OR circuit
+// (x1x2 -> x5, x3x4 -> x6, x5+x6 -> x7) and its POS formula.
+func TestFigure2POS(t *testing.T) {
+	b := NewBuilder()
+	var x [8]sat.Lit
+	for i := 1; i <= 7; i++ {
+		x[i] = b.NewVar("")
+	}
+	b.AndGate(x[5], x[1], x[2])
+	b.AndGate(x[6], x[3], x[4])
+	b.OrGate(x[7], x[5], x[6])
+	if b.NumClauses() != 9 {
+		t.Fatalf("Fig. 2 formula must have 9 clauses, got %d", b.NumClauses())
+	}
+	// Check functional behaviour on every input assignment.
+	for mask := 0; mask < 16; mask++ {
+		s := b.SolverFrom()
+		bit := func(i int) bool { return mask&(1<<uint(i-1)) != 0 }
+		for i := 1; i <= 4; i++ {
+			if bit(i) {
+				s.AddClause(x[i])
+			} else {
+				s.AddClause(x[i].Not())
+			}
+		}
+		if st := s.Solve(sat.Limits{}); st != sat.Sat {
+			t.Fatalf("circuit must be satisfiable for any input, mask=%b", mask)
+		}
+		want := (bit(1) && bit(2)) || (bit(3) && bit(4))
+		if s.Model(x[7].Var()) != want {
+			t.Fatalf("x7 wrong for mask=%b", mask)
+		}
+	}
+}
+
+func TestDIMACS(t *testing.T) {
+	b := NewBuilder()
+	x := b.NewVar("x")
+	y := b.NewVar("y")
+	b.Add(x, y.Not())
+	var buf bytes.Buffer
+	if err := b.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.HasPrefix(got, "p cnf 2 1\n") || !strings.Contains(got, "1 -2 0") {
+		t.Fatalf("DIMACS = %q", got)
+	}
+}
+
+func TestNamesAndString(t *testing.T) {
+	b := NewBuilder()
+	x := b.NewVar("x1")
+	y := b.NewVar("x5")
+	b.Add(x, y)
+	if s := b.String(); s != "(x1+x5)" {
+		t.Fatalf("String = %q", s)
+	}
+	if b.Name(x.Not()) != "!x1" {
+		t.Fatalf("Name = %q", b.Name(x.Not()))
+	}
+}
+
+func TestComplexity(t *testing.T) {
+	b := NewBuilder()
+	b.NewVar("")
+	b.NewVar("")
+	b.Add(sat.MkLit(0, false))
+	b.Add(sat.MkLit(1, false))
+	if b.Complexity() != 4 {
+		t.Fatalf("Complexity = %d", b.Complexity())
+	}
+}
+
+// Property: in any model of ExactlyOne over k literals, exactly one holds.
+func TestPropExactlyOne(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(6)
+		b := NewBuilder()
+		lits := make([]sat.Lit, k)
+		for i := range lits {
+			lits[i] = b.NewVar("")
+		}
+		b.ExactlyOne(lits...)
+		// Random extra forcing of one literal.
+		forced := r.Intn(k)
+		b.Add(lits[forced])
+		s := b.SolverFrom()
+		if s.Solve(sat.Limits{}) != sat.Sat {
+			return false
+		}
+		for i, l := range lits {
+			if s.Model(l.Var()) != (i == forced) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAndGateForward(t *testing.T) {
+	b := NewBuilder()
+	out := b.NewVar("out")
+	a := b.NewVar("a")
+	c := b.NewVar("c")
+	b.AndGateForward(out, a, c)
+	b.Add(out)
+	s := b.SolverFrom()
+	if s.Solve(sat.Limits{}) != sat.Sat {
+		t.Fatal("unexpected unsat")
+	}
+	if !s.Model(a.Var()) || !s.Model(c.Var()) {
+		t.Fatal("forward AND must force inputs high")
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/lattice-tools/janus/internal/cube"
+	"github.com/lattice-tools/janus/internal/minimize"
+)
+
+// TestDSBoundVerified: the divide-and-synthesize construction must always
+// produce a verified realization when it produces anything.
+func TestDSBoundVerified(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 8; trial++ {
+		f := cube.Zero(4)
+		for i := 0; i < 4; i++ {
+			var c cube.Cube
+			for v := 0; v < 4; v++ {
+				switch rng.Intn(3) {
+				case 0:
+					c = c.WithPos(v)
+				case 1:
+					c = c.WithNeg(v)
+				}
+			}
+			if c.NumLiterals() > 0 {
+				f.Cubes = append(f.Cubes, c)
+			}
+		}
+		isop := minimize.Auto(f)
+		if len(isop.Cubes) < 4 {
+			continue
+		}
+		dual := minimize.Auto(isop.Dual())
+		lm := 0
+		ds := dsBound(isop, dual, Options{}, &lm)
+		if ds == nil {
+			continue // partition degenerated; allowed
+		}
+		if !ds.Realizes(isop) {
+			t.Fatalf("trial %d: DS bound not verified", trial)
+		}
+	}
+}
+
+// TestDSImprovesFig4: on the paper's Fig. 4 function DS must find a
+// packing no larger than PS would (the paper reports DS = 3×5 = 15).
+func TestDSImprovesFig4(t *testing.T) {
+	f := cube.NewCover(5,
+		cube.FromLiterals([]int{2, 3}, nil),
+		cube.FromLiterals(nil, []int{2, 3}),
+		cube.FromLiterals([]int{0, 1, 4}, nil),
+		cube.FromLiterals(nil, []int{0, 1, 4}))
+	isop, dual := minimize.AutoDual(f)
+	lm := 0
+	ds := dsBound(isop, dual, Options{}, &lm)
+	if ds == nil {
+		t.Fatal("DS produced nothing for fig4")
+	}
+	if ds.Size() > 15 {
+		t.Fatalf("DS size = %d (%v), paper reports 15", ds.Size(), ds.Grid)
+	}
+	if !ds.Realizes(isop) {
+		t.Fatal("DS bound not verified")
+	}
+}
+
+func TestPackPartsThreeWay(t *testing.T) {
+	var parts []*part
+	var want cube.Cover
+	for i, raw := range []cube.Cover{
+		cube.NewCover(5, cube.FromLiterals([]int{0, 1}, nil)),
+		cube.NewCover(5, cube.FromLiterals([]int{2}, []int{3})),
+		cube.NewCover(5, cube.FromLiterals(nil, []int{4, 0})),
+	} {
+		r, err := Synthesize(raw, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, &part{isop: r.ISOP, dual: r.DualISOP, sol: r.Assignment})
+		if i == 0 {
+			want = r.ISOP
+		} else {
+			want = want.Or(r.ISOP)
+		}
+	}
+	packed := packParts(parts)
+	if !packed.Realizes(want) {
+		t.Fatalf("3-way packing wrong:\n%s", packed)
+	}
+	rows, cols := packedSize(parts)
+	if packed.Grid.M != rows || packed.Grid.N != cols {
+		t.Fatal("packedSize disagrees with packParts")
+	}
+}
+
+func TestFixedRowSearch(t *testing.T) {
+	f := cube.NewCover(3, cube.FromLiterals([]int{0, 1, 2}, nil)) // abc
+	isop, dual := minimize.AutoDual(f)
+	p := &part{isop: isop, dual: dual}
+	lm := 0
+	// abc needs 3 switches in a column; at 3 rows the minimum k is 1.
+	sol := fixedRowSearch(p, 3, 1, 4, Options{}, &lm)
+	if sol == nil || sol.Grid.N != 1 {
+		t.Fatalf("fixedRowSearch = %v", sol)
+	}
+	// At 2 rows no width in range works (needs a path of length 3 but
+	// every 2×k path has 2 cells... except bent ones; the search may find
+	// a wider solution; just require any result to verify).
+	if sol2 := fixedRowSearch(p, 2, 1, 3, Options{}, &lm); sol2 != nil {
+		if !sol2.Realizes(isop) {
+			t.Fatal("unverified fixed-row result")
+		}
+	}
+}
+
+func TestTrimCols(t *testing.T) {
+	f := cube.NewCover(3, cube.FromLiterals([]int{0}, nil)) // single literal a
+	isop, dual := minimize.AutoDual(f)
+	r, err := Synthesize(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &part{isop: isop, dual: dual, sol: r.Assignment}
+	lm := 0
+	// a fits a 2×1 lattice (column of a's); trimming from width 3 at 2
+	// rows must reach width 1.
+	sol := trimCols(p, 2, 3, Options{}, &lm)
+	if sol == nil || sol.Grid.N != 1 {
+		t.Fatalf("trimCols = %+v", sol)
+	}
+}

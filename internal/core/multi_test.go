@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/lattice-tools/janus/internal/cube"
+)
+
+func threeOutputs() []cube.Cover {
+	// A small multi-output block: three related functions on 4 inputs.
+	return []cube.Cover{
+		cube.NewCover(4,
+			cube.FromLiterals([]int{0, 1}, nil),
+			cube.FromLiterals([]int{2, 3}, nil)),
+		cube.NewCover(4,
+			cube.FromLiterals([]int{0}, []int{3}),
+			cube.FromLiterals([]int{2}, []int{1})),
+		cube.NewCover(4,
+			cube.FromLiterals([]int{1, 2, 3}, nil),
+			cube.FromLiterals(nil, []int{0, 1})),
+	}
+}
+
+func TestStraightForwardMulti(t *testing.T) {
+	fns := threeOutputs()
+	mr, err := SynthesizeMulti(fns, Options{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mr.Lattice.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Lattice.Regions) != 3 {
+		t.Fatalf("regions = %d", len(mr.Lattice.Regions))
+	}
+	// Width = sum of part widths + separators.
+	want := 0
+	for i, p := range mr.Parts {
+		want += p.Grid.N
+		if i > 0 {
+			want++
+		}
+	}
+	if mr.Lattice.Cols() != want {
+		t.Fatalf("cols = %d, want %d", mr.Lattice.Cols(), want)
+	}
+}
+
+func TestJanusMFNotWorse(t *testing.T) {
+	fns := threeOutputs()
+	sf, err := SynthesizeMulti(fns, Options{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := SynthesizeMulti(fns, Options{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.Lattice.Size() > sf.Lattice.Size() {
+		t.Fatalf("JANUS-MF (%d) worse than straight-forward (%d)",
+			mf.Lattice.Size(), sf.Lattice.Size())
+	}
+	if err := mf.Lattice.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiTruthTables(t *testing.T) {
+	fns := threeOutputs()
+	mr, err := SynthesizeMulti(fns, Options{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := mr.Lattice.TruthTables()
+	if len(ts) != 3 {
+		t.Fatal("missing tables")
+	}
+	for i, f := range mr.Lattice.Targets {
+		if !ts[i].EquivCover(f) {
+			t.Fatalf("region %d table mismatch", i)
+		}
+	}
+}
+
+func TestMultiSingleFunction(t *testing.T) {
+	f := cube.NewCover(3, cube.FromLiterals([]int{0, 1, 2}, nil))
+	mr, err := SynthesizeMulti([]cube.Cover{f}, Options{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Lattice.Size() != mr.Parts[0].Size {
+		t.Fatalf("single-function multi lattice should match the part: %d vs %d",
+			mr.Lattice.Size(), mr.Parts[0].Size)
+	}
+}
+
+func TestMultiEmptyInput(t *testing.T) {
+	if _, err := SynthesizeMulti(nil, Options{}, false); err == nil {
+		t.Fatal("empty input must error")
+	}
+}
+
+func TestMinimizeOutputs(t *testing.T) {
+	raw := []cube.Cover{
+		cube.NewCover(2,
+			cube.FromLiterals([]int{0, 1}, nil),
+			cube.FromLiterals([]int{0}, []int{1})),
+	}
+	min := MinimizeOutputs(raw)
+	if len(min[0].Cubes) != 1 {
+		t.Fatalf("minimization failed: %v", min[0])
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/lattice-tools/janus/internal/lattice"
+	"github.com/lattice-tools/janus/internal/minimize"
+	"github.com/lattice-tools/janus/internal/truth"
+
+	"github.com/lattice-tools/janus/internal/cube"
+)
+
+// oracleMinSize exhaustively searches every assignment of the target's
+// literals (plus constants) over every lattice of increasing size and
+// returns the true minimum switch count. Only feasible for tiny
+// functions and lattices; serves as the ground-truth optimality oracle.
+func oracleMinSize(t *testing.T, f cube.Cover, maxSize int) int {
+	tab := truth.FromCover(f)
+	// TL set: literals of f plus constants (the same alphabet JANUS uses).
+	var tl []lattice.Entry
+	tl = append(tl, lattice.Entry{Kind: lattice.Const0}, lattice.Entry{Kind: lattice.Const1})
+	pos, neg := f.LiteralSet()
+	for v := 0; v < f.N; v++ {
+		if pos&(1<<uint(v)) != 0 {
+			tl = append(tl, lattice.Entry{Kind: lattice.PosVar, Var: v})
+		}
+		if neg&(1<<uint(v)) != 0 {
+			tl = append(tl, lattice.Entry{Kind: lattice.NegVar, Var: v})
+		}
+	}
+	for size := 1; size <= maxSize; size++ {
+		for m := 1; m <= size; m++ {
+			if size%m != 0 {
+				continue
+			}
+			g := lattice.Grid{M: m, N: size / m}
+			if oracleFits(g, tl, tab) {
+				return size
+			}
+		}
+	}
+	t.Fatalf("oracle found no lattice up to size %d for %v", maxSize, f)
+	return -1
+}
+
+func oracleFits(g lattice.Grid, tl []lattice.Entry, tab *truth.Table) bool {
+	a := lattice.NewAssignment(g)
+	cells := g.Cells()
+	var rec func(cell int) bool
+	rec = func(cell int) bool {
+		if cell == cells {
+			return a.Table(tab.N).Equal(tab)
+		}
+		for _, e := range tl {
+			a.Entries[cell] = e
+			if rec(cell + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// TestJanusMatchesOracleTiny: on exhaustive-search-sized functions JANUS
+// must find the true minimum lattice (its approximations never bite at
+// this scale thanks to the Auto formulation fallback).
+func TestJanusMatchesOracleTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle sweep in short mode")
+	}
+	rng := rand.New(rand.NewSource(101))
+	checked := 0
+	for trial := 0; trial < 30 && checked < 8; trial++ {
+		raw := cube.Zero(3)
+		for i := 0; i < 2; i++ {
+			var c cube.Cube
+			for v := 0; v < 3; v++ {
+				switch rng.Intn(3) {
+				case 0:
+					c = c.WithPos(v)
+				case 1:
+					c = c.WithNeg(v)
+				}
+			}
+			if c.NumLiterals() > 0 {
+				raw.Cubes = append(raw.Cubes, c)
+			}
+		}
+		f := minimize.Auto(raw)
+		if f.IsZero() || f.IsOne() || f.NumLiterals() > 5 {
+			continue // keep the oracle enumeration small
+		}
+		checked++
+		want := oracleMinSize(t, f, 6)
+		r, err := Synthesize(f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Size != want {
+			t.Fatalf("JANUS %d vs oracle %d for %v (grid %v)", r.Size, want, f, r.Grid)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no functions exercised")
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/lattice-tools/janus/internal/benchdata"
+)
+
+// TestProfileClpl00 exists to profile a single mid-size synthesis run:
+//
+//	go test -run TestProfileClpl00 -cpuprofile cpu.out ./internal/core
+func TestProfileClpl00(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling helper")
+	}
+	f, _ := benchdata.Lookup("clpl_00").Function()
+	r, err := Synthesize(f, Options{Budget: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("clpl_00: %v size=%d lb=%d nub=%d lm=%d elapsed=%v",
+		r.Grid, r.Size, r.LB, r.NUB, r.LMSolved, r.Elapsed)
+}
+
+// TestProfileClpl00Cegar mirrors TestProfileClpl00 with the CEGAR engine.
+func TestProfileClpl00Cegar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling helper")
+	}
+	f, _ := benchdata.Lookup("clpl_00").Function()
+	opt := Options{Budget: 30 * time.Second}
+	opt.Encode.CEGAR = true
+	r, err := Synthesize(f, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("clpl_00 cegar: %v size=%d lb=%d nub=%d lm=%d elapsed=%v",
+		r.Grid, r.Size, r.LB, r.NUB, r.LMSolved, r.Elapsed)
+}

@@ -1,0 +1,198 @@
+package encode
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/lattice-tools/janus/internal/cube"
+	"github.com/lattice-tools/janus/internal/lattice"
+	"github.com/lattice-tools/janus/internal/sat"
+	"github.com/lattice-tools/janus/internal/truth"
+)
+
+// SolveLMCegar decides the LM problem by counterexample-guided
+// abstraction refinement, the lazy view of the exact method's quantified
+// formulation: ∃ mapping ∀ inputs (lattice = f).
+//
+// Instead of constraining all 2^N truth-table entries up front, the
+// abstraction starts from a small seed, a candidate mapping is decoded
+// and *simulated* against the full truth table (cheap — one BFS per
+// point), and any mismatching input becomes a new constrained entry. An
+// UNSAT abstraction proves the full problem UNSAT because the
+// abstraction is a relaxation; a verified candidate is a genuine
+// solution. Each refinement adds at least one new entry, so the loop
+// terminates. On the paper's instances the loop typically converges
+// after a few dozen entries instead of the full 2^N.
+func SolveLMCegar(target, targetDual cube.Cover, g lattice.Grid, opt Options) (Result, error) {
+	if target.N > MaxInputs {
+		return Result{}, ErrTooManyInputs
+	}
+	if target.IsZero() || target.IsOne() {
+		return SolveLM(target, targetDual, g, opt)
+	}
+	if !StructuralCheck(target, targetDual, g) {
+		return Result{Status: sat.Unsat, Structural: true}, nil
+	}
+
+	// Orientation choice: per-entry work is proportional to the path
+	// count, so prefer the sparser structure; skip oversized ones (the
+	// CEGAR loop can afford more than the monolithic cap because it only
+	// materializes the entries it needs, but the path list itself must
+	// still fit).
+	type attempt struct {
+		cover cube.Cover
+		dual  bool
+	}
+	const maxCegarPaths = 200000
+	var attempts []attempt
+	pw := g.CountPathsLimited(maxCegarPaths, false)
+	dw := g.CountPathsLimited(maxCegarPaths, true)
+	switch opt.Mode {
+	case PrimalOnly:
+		if pw <= maxCegarPaths {
+			attempts = []attempt{{target, false}}
+		}
+	case DualOnly:
+		if dw <= maxCegarPaths {
+			attempts = []attempt{{targetDual, true}}
+		}
+	default:
+		if dw < pw {
+			attempts = append(attempts, attempt{targetDual, true})
+			if pw <= maxCegarPaths {
+				attempts = append(attempts, attempt{target, false})
+			}
+		} else {
+			attempts = append(attempts, attempt{target, false})
+			if dw <= maxCegarPaths {
+				attempts = append(attempts, attempt{targetDual, true})
+			}
+		}
+		kept := attempts[:0]
+		for _, a := range attempts {
+			w := pw
+			if a.dual {
+				w = dw
+			}
+			if w <= maxCegarPaths {
+				kept = append(kept, a)
+			}
+		}
+		attempts = kept
+	}
+	if len(attempts) == 0 {
+		return Result{Status: sat.Unknown}, nil
+	}
+
+	targetTab := truth.FromCover(target)
+	var deadline time.Time
+	if opt.Limits.Timeout > 0 {
+		deadline = time.Now().Add(opt.Limits.Timeout)
+	}
+
+	var res Result
+	sawUnknown := false
+	for _, a := range attempts {
+		r, err := cegarOne(a.cover, target, targetTab, g, a.dual, opt, deadline)
+		if err != nil {
+			return r, err
+		}
+		res = r
+		if r.Status == sat.Sat {
+			return r, nil
+		}
+		if r.Status == sat.Unknown {
+			sawUnknown = true
+		}
+	}
+	if sawUnknown {
+		res.Status = sat.Unknown
+	}
+	return res, nil
+}
+
+// cegarOne runs the refinement loop for one orientation. enc is the cover
+// being encoded (f or f^D); target/targetTab always describe f, which the
+// decoded assignment must implement.
+func cegarOne(enc, target cube.Cover, targetTab *truth.Table, g lattice.Grid,
+	dual bool, opt Options, deadline time.Time) (Result, error) {
+	encTab := truth.FromCover(enc)
+
+	// Seed: one on-entry and one off-entry of the encoded function give
+	// the abstraction immediate traction.
+	var entries []uint64
+	seen := map[uint64]bool{}
+	addEntry := func(t uint64) {
+		if !seen[t] {
+			seen[t] = true
+			entries = append(entries, t)
+		}
+	}
+	var sawOn, sawOff bool
+	for t := uint64(0); t < encTab.Size() && (!sawOn || !sawOff); t++ {
+		if encTab.Get(t) && !sawOn {
+			sawOn = true
+			addEntry(t)
+		}
+		if !encTab.Get(t) && !sawOff {
+			sawOff = true
+			addEntry(t)
+		}
+	}
+
+	var res Result
+	for iter := 0; ; iter++ {
+		p := build(enc, g, dual, opt, entries)
+		s := p.b.SolverFrom()
+		p.b.ReleaseClauses()
+		lims := opt.Limits
+		if !deadline.IsZero() {
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				res.Status = sat.Unknown
+				return res, nil
+			}
+			lims.Timeout = remain
+		}
+		st := s.Solve(lims)
+		res = Result{
+			Status:     st,
+			UsedDual:   dual,
+			Vars:       p.b.NumVars(),
+			Clauses:    p.b.NumClauses(),
+			SolverStat: s.Stats(),
+		}
+		if st != sat.Sat {
+			return res, nil // Unsat is definitive (relaxation); Unknown is a budget
+		}
+		cand := p.decode(s)
+		// Verify the candidate against the real target by simulation.
+		cex, ok := findMismatch(cand, targetTab)
+		if ok {
+			res.Assignment = cand
+			return res, nil
+		}
+		// Translate the mismatching input of f into an entry of the
+		// encoded function: the dual orientation constrains f^D, whose
+		// entry t corresponds to evaluating f at ¬t.
+		entry := cex
+		if dual {
+			entry = ^cex & (encTab.Size() - 1)
+		}
+		if seen[entry] {
+			return res, fmt.Errorf("encode: CEGAR failed to make progress on %v (entry %d)", g, entry)
+		}
+		addEntry(entry)
+	}
+}
+
+// findMismatch simulates the assignment and returns the first input where
+// it disagrees with the target table, or ok=true when it fully agrees.
+func findMismatch(a *lattice.Assignment, tab *truth.Table) (uint64, bool) {
+	for t := uint64(0); t < tab.Size(); t++ {
+		if a.EvalConnectivity(t) != tab.Get(t) {
+			return t, false
+		}
+	}
+	return 0, true
+}

@@ -1,0 +1,99 @@
+package encode
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/lattice-tools/janus/internal/lattice"
+	"github.com/lattice-tools/janus/internal/minimize"
+	"github.com/lattice-tools/janus/internal/sat"
+)
+
+// TestSymmetryBreakPreservesSatisfiability: pruning mirrored solutions
+// must never flip an LM problem's answer.
+func TestSymmetryBreakPreservesSatisfiability(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	grids := []lattice.Grid{{M: 2, N: 2}, {M: 2, N: 3}, {M: 3, N: 2}, {M: 3, N: 3}}
+	for trial := 0; trial < 15; trial++ {
+		raw := randomFunc(rng, 3, 2)
+		f := minimize.Auto(raw)
+		if f.IsZero() || f.IsOne() {
+			continue
+		}
+		d := minimize.Auto(f.Dual())
+		for _, g := range grids {
+			with, err := SolveLM(f, d, g, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			without, err := SolveLM(f, d, g, Options{DisableSymmetry: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (with.Status == sat.Sat) != (without.Status == sat.Sat) {
+				t.Fatalf("trial %d grid %v: symmetry breaking changed the answer (%v vs %v) for %v",
+					trial, g, with.Status, without.Status, f)
+			}
+		}
+	}
+}
+
+// TestMirrorInvariance documents the property the symmetry break relies
+// on: reversing rows or columns of an assignment preserves its function.
+func TestMirrorInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		g := lattice.Grid{M: 1 + rng.Intn(4), N: 1 + rng.Intn(4)}
+		a := lattice.NewAssignment(g)
+		for i := range a.Entries {
+			switch rng.Intn(4) {
+			case 0:
+				a.Entries[i] = lattice.Entry{Kind: lattice.Const0}
+			case 1:
+				a.Entries[i] = lattice.Entry{Kind: lattice.Const1}
+			case 2:
+				a.Entries[i] = lattice.Entry{Kind: lattice.PosVar, Var: rng.Intn(3)}
+			default:
+				a.Entries[i] = lattice.Entry{Kind: lattice.NegVar, Var: rng.Intn(3)}
+			}
+		}
+		hm := lattice.NewAssignment(g)
+		vm := lattice.NewAssignment(g)
+		for r := 0; r < g.M; r++ {
+			for c := 0; c < g.N; c++ {
+				hm.Set(r, g.N-1-c, a.At(r, c))
+				vm.Set(g.M-1-r, c, a.At(r, c))
+			}
+		}
+		for p := uint64(0); p < 8; p++ {
+			want := a.EvalConnectivity(p)
+			if hm.EvalConnectivity(p) != want {
+				t.Fatalf("column mirror changed the function at %b", p)
+			}
+			if vm.EvalConnectivity(p) != want {
+				t.Fatalf("row mirror changed the function at %b", p)
+			}
+		}
+	}
+}
+
+func TestSymmetryBreakShrinksOrNeutral(t *testing.T) {
+	// On a feasible instance the constrained problem must stay SAT and
+	// carry the extra clauses.
+	f, d := isopPair(fig1())
+	with, err := SolveLM(f, d, lattice.Grid{M: 4, N: 2}, Options{Mode: PrimalOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := SolveLM(f, d, lattice.Grid{M: 4, N: 2},
+		Options{Mode: PrimalOnly, DisableSymmetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Status != sat.Sat || without.Status != sat.Sat {
+		t.Fatal("both must be SAT")
+	}
+	if with.Clauses <= without.Clauses {
+		t.Fatal("symmetry break should add clauses")
+	}
+}

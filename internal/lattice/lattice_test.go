@@ -1,0 +1,382 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/lattice-tools/janus/internal/cube"
+)
+
+// tableI holds the paper's Table I: products of f_{m×n} (primal) and of
+// its dual, for 2 ≤ m, n ≤ 8.
+var tableIPrimal = [7][7]int64{
+	{2, 3, 4, 5, 6, 7, 8},
+	{4, 9, 16, 25, 36, 49, 64},
+	{6, 17, 36, 67, 118, 203, 344},
+	{10, 37, 94, 205, 436, 957, 2146},
+	{16, 77, 236, 621, 1668, 4883, 14880},
+	{26, 163, 602, 1905, 6562, 26317, 110838},
+	{42, 343, 1528, 5835, 25686, 139231, 797048},
+}
+
+var tableIDual = [7][7]int64{
+	{4, 8, 16, 32, 64, 128, 256},
+	{7, 17, 41, 99, 239, 577, 1393},
+	{10, 28, 78, 216, 600, 1666, 4626},
+	{13, 41, 139, 453, 1497, 4981, 16539},
+	{16, 56, 250, 1018, 4286, 18730, 81192},
+	{19, 73, 461, 2439, 13833, 86963, 539537},
+	{22, 92, 872, 6004, 45788, 421182, 3779226},
+}
+
+// TestTableISmall pins Table I for 2 ≤ m,n ≤ 6 (fast subset; the full
+// table is exercised by the Table I benchmark and TestTableIFull with
+// -short skipping).
+func TestTableISmall(t *testing.T) {
+	for m := 2; m <= 6; m++ {
+		for n := 2; n <= 6; n++ {
+			g := Grid{M: m, N: n}
+			if got := g.CountPaths(); got != tableIPrimal[m-2][n-2] {
+				t.Errorf("|f_%dx%d| = %d, want %d", m, n, got, tableIPrimal[m-2][n-2])
+			}
+			if got := g.CountDualPaths(); got != tableIDual[m-2][n-2] {
+				t.Errorf("|dual f_%dx%d| = %d, want %d", m, n, got, tableIDual[m-2][n-2])
+			}
+		}
+	}
+}
+
+func TestTableIFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table I in short mode")
+	}
+	for m := 2; m <= 8; m++ {
+		for n := 2; n <= 8; n++ {
+			g := Grid{M: m, N: n}
+			if got := g.CountPaths(); got != tableIPrimal[m-2][n-2] {
+				t.Errorf("|f_%dx%d| = %d, want %d", m, n, got, tableIPrimal[m-2][n-2])
+			}
+			if got := g.CountDualPaths(); got != tableIDual[m-2][n-2] {
+				t.Errorf("|dual f_%dx%d| = %d, want %d", m, n, got, tableIDual[m-2][n-2])
+			}
+		}
+	}
+}
+
+// TestF3x3Products pins the 9 products of f_{3×3} listed in the paper
+// (x1..x9 are cells 0..8 row-major).
+func TestF3x3Products(t *testing.T) {
+	g := Grid{M: 3, N: 3}
+	paths := g.Paths()
+	if len(paths) != 9 {
+		t.Fatalf("|f_3x3| = %d, want 9", len(paths))
+	}
+	want := map[uint64]bool{}
+	mask := func(cells ...int) uint64 {
+		var m uint64
+		for _, c := range cells {
+			m |= 1 << uint(c-1) // paper's x1..x9 are 1-based
+		}
+		return m
+	}
+	for _, cells := range [][]int{
+		{1, 4, 7}, {2, 5, 8}, {3, 6, 9},
+		{1, 4, 5, 8}, {2, 5, 4, 7}, {2, 5, 6, 9}, {3, 6, 5, 8},
+		{1, 4, 5, 6, 9}, {3, 6, 5, 4, 7},
+	} {
+		want[mask(cells...)] = true
+	}
+	for _, p := range paths {
+		if !want[p.Mask] {
+			t.Errorf("unexpected product %b", p.Mask)
+		}
+		delete(want, p.Mask)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing products: %v", want)
+	}
+}
+
+// TestDual3x3Products pins the 17 dual products of f_{3×3} from the
+// paper's footnote.
+func TestDual3x3Products(t *testing.T) {
+	g := Grid{M: 3, N: 3}
+	paths := g.DualPaths()
+	if len(paths) != 17 {
+		t.Fatalf("|dual f_3x3| = %d, want 17", len(paths))
+	}
+	want := map[uint64]bool{}
+	mask := func(cells ...int) uint64 {
+		var m uint64
+		for _, c := range cells {
+			m |= 1 << uint(c-1)
+		}
+		return m
+	}
+	for _, cells := range [][]int{
+		{1, 2, 3}, {1, 2, 6}, {1, 5, 3}, {1, 5, 6}, {1, 5, 9},
+		{4, 2, 3}, {4, 2, 6}, {4, 5, 3}, {4, 5, 6}, {4, 5, 9},
+		{4, 8, 6}, {4, 8, 9}, {7, 5, 3}, {7, 5, 6}, {7, 5, 9},
+		{7, 8, 6}, {7, 8, 9},
+	} {
+		want[mask(cells...)] = true
+	}
+	for _, p := range paths {
+		if !want[p.Mask] {
+			t.Errorf("unexpected dual product %b", p.Mask)
+		}
+		delete(want, p.Mask)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing dual products: %v", want)
+	}
+}
+
+func TestDegenerateGrids(t *testing.T) {
+	// 1×1: one switch; one primal path and one dual path.
+	g := Grid{M: 1, N: 1}
+	if g.CountPaths() != 1 || g.CountDualPaths() != 1 {
+		t.Fatal("1x1 path counts wrong")
+	}
+	// m×1: single primal path (the column), m dual paths (each cell).
+	g = Grid{M: 4, N: 1}
+	if g.CountPaths() != 1 {
+		t.Fatalf("4x1 primal = %d", g.CountPaths())
+	}
+	if g.CountDualPaths() != 4 {
+		t.Fatalf("4x1 dual = %d", g.CountDualPaths())
+	}
+	// 1×n: n primal paths, one dual path (the row).
+	g = Grid{M: 1, N: 4}
+	if g.CountPaths() != 4 || g.CountDualPaths() != 1 {
+		t.Fatal("1x4 counts wrong")
+	}
+}
+
+func TestPathsAreMinimalAndChordless(t *testing.T) {
+	for _, g := range []Grid{{3, 4}, {4, 3}, {4, 4}} {
+		paths := g.Paths()
+		// No product's mask may contain another's.
+		for i := range paths {
+			for j := range paths {
+				if i != j && paths[i].Mask&paths[j].Mask == paths[j].Mask {
+					t.Fatalf("%v: product %d contains product %d", g, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestFunctionMatchesConnectivity(t *testing.T) {
+	// For every subset of switches of a 3×3 grid, the lattice function
+	// (SOP over paths) must equal BFS connectivity.
+	g := Grid{M: 3, N: 3}
+	f := g.Function()
+	a := NewAssignment(g)
+	for i := range a.Entries {
+		a.Entries[i] = Entry{Kind: PosVar, Var: i} // switch i driven by x_i
+	}
+	for p := uint64(0); p < 512; p++ {
+		if f.Eval(p) != a.EvalConnectivity(p) {
+			t.Fatalf("mismatch at switch state %b", p)
+		}
+	}
+}
+
+func TestDualFunctionMatchesConnectivity(t *testing.T) {
+	g := Grid{M: 3, N: 3}
+	f := g.DualFunction()
+	a := NewAssignment(g)
+	for i := range a.Entries {
+		a.Entries[i] = Entry{Kind: PosVar, Var: i}
+	}
+	for p := uint64(0); p < 512; p++ {
+		if f.Eval(p) != a.EvalDualConnectivity(p) {
+			t.Fatalf("dual mismatch at switch state %b", p)
+		}
+	}
+}
+
+// TestLatticeDualityTheorem checks f_{m×n}^D equals the 8-connected
+// left–right function (Altun & Riedel's duality) via cube algebra.
+func TestLatticeDualityTheorem(t *testing.T) {
+	for _, g := range []Grid{{2, 2}, {2, 3}, {3, 2}, {3, 3}, {2, 4}} {
+		primal := g.Function()
+		dual := g.DualFunction()
+		if !primal.Dual().Equiv(dual) {
+			t.Fatalf("%v: dual(f) != 8-connected LR function", g)
+		}
+	}
+}
+
+func TestEntryEval(t *testing.T) {
+	if (Entry{Kind: Const0}).Eval(0xFF) || !(Entry{Kind: Const1}).Eval(0) {
+		t.Fatal("constants wrong")
+	}
+	e := Entry{Kind: PosVar, Var: 2}
+	if !e.Eval(0b100) || e.Eval(0b011) {
+		t.Fatal("PosVar wrong")
+	}
+	n := e.Complement()
+	if n.Kind != NegVar || n.Eval(0b100) || !n.Eval(0) {
+		t.Fatal("NegVar wrong")
+	}
+	if (Entry{Kind: Const0}).Complement().Kind != Const1 {
+		t.Fatal("complement of 0 wrong")
+	}
+}
+
+// TestFigure1d verifies the paper's Fig. 1(d): f = abcd + a'b'c'd'
+// realized on the minimum-size 4×2 lattice. Placing the two products on
+// the two columns works because every bent path crosses opposing literals
+// and vanishes.
+func TestFigure1d(t *testing.T) {
+	f := cube.NewCover(4,
+		cube.FromLiterals([]int{0, 1, 2, 3}, nil),
+		cube.FromLiterals(nil, []int{0, 1, 2, 3}))
+	a := NewAssignment(Grid{M: 4, N: 2})
+	for v := 0; v < 4; v++ {
+		a.Set(v, 0, Entry{Kind: PosVar, Var: v})
+		a.Set(v, 1, Entry{Kind: NegVar, Var: v})
+	}
+	if !a.Realizes(f) {
+		t.Fatalf("4x2 mapping does not realize f:\n%s", a.Format([]string{"a", "b", "c", "d"}))
+	}
+	if a.Size() != 8 {
+		t.Fatalf("size = %d, want 8", a.Size())
+	}
+}
+
+func TestAssignmentFormat(t *testing.T) {
+	a := NewAssignment(Grid{M: 2, N: 2})
+	a.Set(0, 0, Entry{Kind: PosVar, Var: 0})
+	a.Set(0, 1, Entry{Kind: NegVar, Var: 1})
+	a.Set(1, 0, Entry{Kind: Const1})
+	got := a.Format([]string{"a", "b"})
+	want := "a  !b\n1  0 "
+	if got != want {
+		t.Fatalf("Format = %q, want %q", got, want)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewAssignment(Grid{M: 2, N: 3})
+	a.Set(0, 2, Entry{Kind: PosVar, Var: 5})
+	b := a.Transpose()
+	if b.Grid.M != 3 || b.Grid.N != 2 {
+		t.Fatal("transpose dims wrong")
+	}
+	if b.At(2, 0) != (Entry{Kind: PosVar, Var: 5}) {
+		t.Fatal("transpose entry wrong")
+	}
+}
+
+// Property: for random assignments on random small grids, the SOP-over-
+// paths evaluation always equals BFS connectivity, and complemented
+// assignments satisfy the duality theorem pointwise.
+func TestPropConnectivityAgreesWithPaths(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := Grid{M: 1 + r.Intn(4), N: 1 + r.Intn(4)}
+		nIn := 3
+		a := NewAssignment(g)
+		for i := range a.Entries {
+			switch r.Intn(4) {
+			case 0:
+				a.Entries[i] = Entry{Kind: Const0}
+			case 1:
+				a.Entries[i] = Entry{Kind: Const1}
+			case 2:
+				a.Entries[i] = Entry{Kind: PosVar, Var: r.Intn(nIn)}
+			default:
+				a.Entries[i] = Entry{Kind: NegVar, Var: r.Intn(nIn)}
+			}
+		}
+		f := g.Function()
+		for p := uint64(0); p < 1<<uint(nIn); p++ {
+			// Build switch-state point for the cover evaluation.
+			var sw uint64
+			for i, e := range a.Entries {
+				if e.Eval(p) {
+					sw |= 1 << uint(i)
+				}
+			}
+			if f.Eval(sw) != a.EvalConnectivity(p) {
+				return false
+			}
+			// Duality: top-bottom connectivity of a == NOT left-right
+			// 8-connectivity of complemented a.
+			if a.EvalConnectivity(p) == a.Complement().EvalDualConnectivity(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxPathLen(t *testing.T) {
+	if got := (Grid{M: 3, N: 3}).MaxPathLen(); got != 5 {
+		t.Fatalf("MaxPathLen(3x3) = %d, want 5", got)
+	}
+	if got := (Grid{M: 2, N: 2}).MaxPathLen(); got != 2 {
+		t.Fatalf("MaxPathLen(2x2) = %d, want 2", got)
+	}
+}
+
+func TestCountPathsLimited(t *testing.T) {
+	g := Grid{M: 4, N: 4} // 36 primal paths
+	if got := g.CountPathsLimited(100, false); got != 36 {
+		t.Fatalf("unbounded count = %d, want 36", got)
+	}
+	if got := g.CountPathsLimited(10, false); got <= 10 {
+		t.Fatalf("limited count = %d, want > 10 (abort indicator)", got)
+	}
+	if got := g.CountPathsLimited(100, true); got != 78 {
+		t.Fatalf("dual count = %d, want 78", got)
+	}
+}
+
+func TestHasPathOfLen(t *testing.T) {
+	g := Grid{M: 3, N: 3}
+	// Max primal path length in 3×3 is 5.
+	for k := 1; k <= 5; k++ {
+		if !g.HasPathOfLen(k, false) {
+			t.Fatalf("3x3 must have a path of length %d", k)
+		}
+	}
+	if g.HasPathOfLen(6, false) {
+		t.Fatal("3x3 cannot have a 6-cell minimal path")
+	}
+	if g.HasPathOfLen(10, false) {
+		t.Fatal("length above cell count must be false")
+	}
+	if !g.HasPathOfLen(0, false) {
+		t.Fatal("length 0 is trivially true")
+	}
+	// Dual: max length in 3×3 is 3.
+	if !g.HasPathOfLen(3, true) || g.HasPathOfLen(4, true) {
+		t.Fatal("dual length bounds wrong")
+	}
+}
+
+// Property: the limited count agrees with the exact count whenever the
+// limit is not hit.
+func TestPropCountPathsLimitedConsistent(t *testing.T) {
+	for m := 1; m <= 4; m++ {
+		for n := 1; n <= 4; n++ {
+			g := Grid{M: m, N: n}
+			exact := g.CountPaths()
+			if got := g.CountPathsLimited(exact, false); got != exact {
+				t.Fatalf("%v: limited(%d) = %d", g, exact, got)
+			}
+			exactD := g.CountDualPaths()
+			if got := g.CountPathsLimited(exactD, true); got != exactD {
+				t.Fatalf("%v dual: limited(%d) = %d", g, exactD, got)
+			}
+		}
+	}
+}

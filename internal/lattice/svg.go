@@ -1,0 +1,81 @@
+package lattice
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteSVG renders the assignment as a standalone SVG drawing in the
+// style of the paper's figures: one square per four-terminal switch
+// labelled with its control entry, plus the top and bottom plates.
+// names supplies input variable names (falling back to x<i>).
+func (a *Assignment) WriteSVG(w io.Writer, names []string) error {
+	const (
+		cell   = 48
+		gap    = 6
+		plateH = 14
+		margin = 10
+	)
+	g := a.Grid
+	width := margin*2 + g.N*cell + (g.N-1)*gap
+	height := margin*2 + plateH*2 + gap*2 + g.M*cell + (g.M-1)*gap
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height); err != nil {
+		return err
+	}
+	put := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format+"\n", args...)
+		return err
+	}
+	// Plates.
+	if err := put(`<rect x="%d" y="%d" width="%d" height="%d" fill="#444"/>`,
+		margin, margin, width-2*margin, plateH); err != nil {
+		return err
+	}
+	if err := put(`<rect x="%d" y="%d" width="%d" height="%d" fill="#444"/>`,
+		margin, height-margin-plateH, width-2*margin, plateH); err != nil {
+		return err
+	}
+	for r := 0; r < g.M; r++ {
+		for c := 0; c < g.N; c++ {
+			x := margin + c*(cell+gap)
+			y := margin + plateH + gap + r*(cell+gap)
+			e := a.At(r, c)
+			fill := "#e8f0fe"
+			switch e.Kind {
+			case Const0:
+				fill = "#f3f3f3"
+			case Const1:
+				fill = "#d7f0d7"
+			}
+			if err := put(`<rect x="%d" y="%d" width="%d" height="%d" rx="6" fill="%s" stroke="#333"/>`,
+				x, y, cell, cell, fill); err != nil {
+				return err
+			}
+			if err := put(`<text x="%d" y="%d" font-family="monospace" font-size="14" text-anchor="middle">%s</text>`,
+				x+cell/2, y+cell/2+5, svgEscape(e.Format(names))); err != nil {
+				return err
+			}
+		}
+	}
+	return put(`</svg>`)
+}
+
+func svgEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '&':
+			out = append(out, "&amp;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

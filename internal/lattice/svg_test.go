@@ -1,0 +1,33 @@
+package lattice
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteSVG(t *testing.T) {
+	a := NewAssignment(Grid{M: 2, N: 2})
+	a.Set(0, 0, Entry{Kind: PosVar, Var: 0})
+	a.Set(0, 1, Entry{Kind: NegVar, Var: 1})
+	a.Set(1, 0, Entry{Kind: Const1})
+	var sb strings.Builder
+	if err := a.WriteSVG(&sb, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<svg", "</svg>", ">a<", ">!b<", ">1<", ">0<"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q:\n%s", want, out)
+		}
+	}
+	// Four switch rects plus two plates.
+	if n := strings.Count(out, "<rect"); n != 6 {
+		t.Fatalf("rect count = %d, want 6", n)
+	}
+}
+
+func TestSVGEscape(t *testing.T) {
+	if svgEscape("<&>") != "&lt;&amp;&gt;" {
+		t.Fatal("escape wrong")
+	}
+}

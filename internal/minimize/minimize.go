@@ -1,0 +1,442 @@
+// Package minimize provides two-level logic minimization. It fills the role
+// espresso [Brayton et al. 1984] plays for JANUS: producing an irredundant
+// sum-of-products (ISOP) form — every product a prime implicant, no product
+// removable — for a target function and for its dual.
+//
+// Two engines are provided: a heuristic EXPAND / IRREDUNDANT / REDUCE loop
+// in the espresso style (ISOP), and an exact minimum-cardinality cover
+// solver over all prime implicants (Exact) used on small functions and as
+// a test oracle.
+package minimize
+
+import (
+	"math/bits"
+	"sort"
+
+	"github.com/lattice-tools/janus/internal/cube"
+)
+
+// ISOP returns an irredundant prime cover of f with a heuristically
+// minimized number of products. The result denotes the same function as f.
+func ISOP(f cube.Cover) cube.Cover {
+	F := f.Absorb()
+	if F.IsZero() || F.IsOne() {
+		return F
+	}
+	off := F.Complement()
+	F = expand(F, off)
+	F = irredundant(F)
+	bestCost := cost(F)
+	for iter := 0; iter < 16; iter++ {
+		R := reduce(F)
+		R = expand(R, off)
+		R = irredundant(R)
+		if c := cost(R); c.less(bestCost) {
+			F, bestCost = R, c
+			continue
+		}
+		break
+	}
+	return F.Canonical()
+}
+
+// ISOPDual returns ISOP forms of f and of its dual f^D.
+func ISOPDual(f cube.Cover) (isop, dualISOP cube.Cover) {
+	return ISOP(f), ISOP(f.Dual())
+}
+
+type coverCost struct{ cubes, lits int }
+
+func (a coverCost) less(b coverCost) bool {
+	if a.cubes != b.cubes {
+		return a.cubes < b.cubes
+	}
+	return a.lits < b.lits
+}
+
+func cost(f cube.Cover) coverCost { return coverCost{len(f.Cubes), f.NumLiterals()} }
+
+// isImplicant reports whether c does not intersect the off-set cover.
+func isImplicant(c cube.Cube, off cube.Cover) bool {
+	for _, o := range off.Cubes {
+		if c.Distance(o) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// expandCube grows c to a prime implicant by removing literals greedily.
+// Literals whose removal conflicts with the fewest off-cubes are tried
+// first, which tends to free the most freedom for later removals.
+func expandCube(c cube.Cube, off cube.Cover) cube.Cube {
+	for {
+		type cand struct {
+			v     int
+			score int
+		}
+		var best *cand
+		sup := c.Support()
+		for v := 0; v < cube.MaxVars && sup>>uint(v) != 0; v++ {
+			bit := uint64(1) << uint(v)
+			if sup&bit == 0 {
+				continue
+			}
+			trial := c.Without(v)
+			if !isImplicant(trial, off) {
+				continue
+			}
+			// Score: prefer removals leaving the most distance to off-set.
+			score := 0
+			for _, o := range off.Cubes {
+				score += trial.Distance(o)
+			}
+			if best == nil || score > best.score {
+				best = &cand{v: v, score: score}
+			}
+		}
+		if best == nil {
+			return c
+		}
+		c = c.Without(best.v)
+	}
+}
+
+func expand(f, off cube.Cover) cube.Cover {
+	g := cube.Cover{N: f.N}
+	for _, c := range f.Cubes {
+		g.Cubes = append(g.Cubes, expandCube(c, off))
+	}
+	return g.Absorb()
+}
+
+// irredundant removes cubes covered by the rest of the cover, dropping the
+// largest (most-literal) candidates first so small general cubes survive.
+func irredundant(f cube.Cover) cube.Cover {
+	cs := make([]cube.Cube, len(f.Cubes))
+	copy(cs, f.Cubes)
+	sort.Slice(cs, func(i, j int) bool { return cs[j].Less(cs[i]) })
+	for i := 0; i < len(cs); {
+		rest := cube.Cover{N: f.N}
+		rest.Cubes = append(rest.Cubes, cs[:i]...)
+		rest.Cubes = append(rest.Cubes, cs[i+1:]...)
+		if rest.CoversCube(cs[i]) {
+			cs = append(cs[:i], cs[i+1:]...)
+			continue
+		}
+		i++
+	}
+	return cube.Cover{N: f.N, Cubes: cs}
+}
+
+// superCube returns the smallest cube containing every cube of f, and
+// false when f is empty.
+func superCube(f cube.Cover) (cube.Cube, bool) {
+	if len(f.Cubes) == 0 {
+		return cube.Cube{}, false
+	}
+	r := f.Cubes[0]
+	for _, c := range f.Cubes[1:] {
+		r.Pos &= c.Pos
+		r.Neg &= c.Neg
+	}
+	return r, true
+}
+
+// reduce shrinks each cube to the smallest cube covering the part of the
+// function no other cube covers, enabling expand to move in new directions.
+func reduce(f cube.Cover) cube.Cover {
+	cs := make([]cube.Cube, len(f.Cubes))
+	copy(cs, f.Cubes)
+	// Process largest cubes last so they shrink against reduced peers.
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Less(cs[j]) })
+	for i := len(cs) - 1; i >= 0; i-- {
+		rest := cube.Cover{N: f.N}
+		rest.Cubes = append(rest.Cubes, cs[:i]...)
+		rest.Cubes = append(rest.Cubes, cs[i+1:]...)
+		// Points of cs[i] not covered by the rest, in the local space of
+		// cs[i]: complement of rest cofactored by the cube.
+		local := rest.CofactorCube(cs[i]).Complement()
+		sc, ok := superCube(local)
+		if !ok {
+			// Entirely covered by the rest; drop it.
+			cs = append(cs[:i], cs[i+1:]...)
+			continue
+		}
+		if r, valid := cs[i].Intersect(sc); valid {
+			cs[i] = r
+		}
+	}
+	return cube.Cover{N: f.N, Cubes: cs}
+}
+
+// Primes returns every prime implicant of f, computed by iterated
+// consensus over an absorbed cube list. The input cubes are first expanded
+// so the closure starts from implicants of maximal size.
+func Primes(f cube.Cover) []cube.Cube {
+	F := f.Absorb()
+	if F.IsZero() {
+		return nil
+	}
+	if F.IsOne() {
+		return []cube.Cube{cube.Top()}
+	}
+	list := make([]cube.Cube, len(F.Cubes))
+	copy(list, F.Cubes)
+	for changed := true; changed; {
+		changed = false
+		var added []cube.Cube
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				cons, ok := list[i].Consensus(list[j])
+				if !ok {
+					continue
+				}
+				dominated := false
+				for _, c := range list {
+					if c.Contains(cons) {
+						dominated = true
+						break
+					}
+				}
+				if !dominated {
+					for _, c := range added {
+						if c.Contains(cons) {
+							dominated = true
+							break
+						}
+					}
+				}
+				if !dominated {
+					added = append(added, cons)
+				}
+			}
+		}
+		if len(added) > 0 {
+			list = append(list, added...)
+			list = cube.Cover{N: F.N, Cubes: list}.Absorb().Cubes
+			changed = true
+		}
+	}
+	cube.SortCubes(list)
+	return list
+}
+
+// Exact returns a minimum-cardinality prime cover of f (ties broken by
+// literal count) using branch and bound over the prime implicant table.
+// It panics if f has more than 16 variables; intended for small functions
+// and as an oracle for ISOP.
+func Exact(f cube.Cover) cube.Cover {
+	return exact(f, 1<<62)
+}
+
+// exact is Exact with a branch-and-bound node budget; when the budget runs
+// out the best cover found so far is returned (still a correct cover,
+// possibly not minimum).
+func exact(f cube.Cover, nodeBudget int64) cube.Cover {
+	if f.N > 16 {
+		panic("minimize: Exact limited to 16 variables")
+	}
+	F := f.Absorb()
+	if F.IsZero() || F.IsOne() {
+		return F
+	}
+	primes := Primes(F)
+	minterms := F.Minterms()
+	// cover[i] = indexes of primes covering minterm i.
+	coverers := make([][]int, len(minterms))
+	for mi, m := range minterms {
+		for pi, p := range primes {
+			if p.Eval(m) {
+				coverers[mi] = append(coverers[mi], pi)
+			}
+		}
+	}
+	// Essential primes — sole coverers of some minterm — are forced into
+	// every cover; choosing them up front shrinks the branch and bound.
+	essential := map[int]bool{}
+	for mi := range minterms {
+		if len(coverers[mi]) == 1 {
+			essential[coverers[mi][0]] = true
+		}
+	}
+	var chosen []int
+	covered := make([]bool, len(minterms))
+	for pi := range essential {
+		chosen = append(chosen, pi)
+		for i, m := range minterms {
+			if primes[pi].Eval(m) {
+				covered[i] = true
+			}
+		}
+	}
+	var bestSel []int
+	bestSize := len(primes) + 1
+	nodes := int64(0)
+
+	var rec func()
+	rec = func() {
+		nodes++
+		if nodes > nodeBudget {
+			return
+		}
+		// Find the uncovered minterm with the fewest coverers.
+		sel := -1
+		for i := range minterms {
+			if covered[i] {
+				continue
+			}
+			if sel < 0 || len(coverers[i]) < len(coverers[sel]) {
+				sel = i
+			}
+		}
+		if sel < 0 {
+			if len(chosen) < bestSize || (len(chosen) == bestSize && litCount(primes, chosen) < litCount(primes, bestSel)) {
+				bestSize = len(chosen)
+				bestSel = append([]int(nil), chosen...)
+			}
+			return
+		}
+		if len(chosen)+1 > bestSize {
+			return
+		}
+		for _, pi := range coverers[sel] {
+			var newly []int
+			for i, m := range minterms {
+				if !covered[i] && primes[pi].Eval(m) {
+					covered[i] = true
+					newly = append(newly, i)
+				}
+			}
+			chosen = append(chosen, pi)
+			rec()
+			chosen = chosen[:len(chosen)-1]
+			for _, i := range newly {
+				covered[i] = false
+			}
+		}
+	}
+	rec()
+	if len(bestSel) == 0 {
+		// Budget exhausted before any complete cover; fall back to the
+		// heuristic, which always yields a valid cover.
+		return ISOP(F)
+	}
+	g := cube.Cover{N: F.N}
+	for _, pi := range bestSel {
+		g.Cubes = append(g.Cubes, primes[pi])
+	}
+	return g.Canonical()
+}
+
+// autoPrimeLimit and autoMintermLimit bound when Auto attempts the exact
+// minimizer; beyond them the heuristic is used.
+const (
+	autoPrimeLimit   = 160
+	autoMintermLimit = 4096
+	autoNodeBudget   = 300000
+)
+
+// Auto returns an ISOP of f with a minimized product count: the exact
+// cover when the function is small enough (as espresso effectively
+// achieves on the paper's benchmarks), the espresso-style heuristic
+// otherwise. The result always denotes the same function as f and is an
+// irredundant prime cover.
+func Auto(f cube.Cover) cube.Cover {
+	F := f.Absorb()
+	if F.IsZero() || F.IsOne() || F.N > 14 {
+		return ISOP(F)
+	}
+	heur := ISOP(F)
+	primes := Primes(F)
+	if len(primes) > autoPrimeLimit || F.CountOnes() > autoMintermLimit {
+		return heur
+	}
+	ex := exact(F, autoNodeBudget)
+	if len(ex.Cubes) < len(heur.Cubes) ||
+		(len(ex.Cubes) == len(heur.Cubes) && ex.NumLiterals() < heur.NumLiterals()) {
+		return ex
+	}
+	return heur
+}
+
+// AutoDual returns Auto-minimized ISOP forms of f and of its dual.
+func AutoDual(f cube.Cover) (isop, dualISOP cube.Cover) {
+	return Auto(f), Auto(f.Dual())
+}
+
+func litCount(primes []cube.Cube, sel []int) int {
+	t := 0
+	for _, i := range sel {
+		t += primes[i].NumLiterals()
+	}
+	return t
+}
+
+// Essentials returns the essential prime implicants of f: the primes that
+// are the sole coverer of some minterm and therefore appear in every
+// minimum prime cover. Limited to 16 variables like Exact.
+func Essentials(f cube.Cover) []cube.Cube {
+	if f.N > 16 {
+		panic("minimize: Essentials limited to 16 variables")
+	}
+	F := f.Absorb()
+	if F.IsZero() || F.IsOne() {
+		return nil
+	}
+	primes := Primes(F)
+	var ess []cube.Cube
+	seen := map[cube.Cube]bool{}
+	for _, m := range F.Minterms() {
+		sole, count := -1, 0
+		for pi, p := range primes {
+			if p.Eval(m) {
+				sole = pi
+				count++
+				if count > 1 {
+					break
+				}
+			}
+		}
+		if count == 1 && !seen[primes[sole]] {
+			seen[primes[sole]] = true
+			ess = append(ess, primes[sole])
+		}
+	}
+	cube.SortCubes(ess)
+	return ess
+}
+
+// IsIrredundantPrimeCover verifies the two defining ISOP properties: every
+// cube is a prime implicant of f and no cube can be removed.
+func IsIrredundantPrimeCover(g, f cube.Cover) bool {
+	if !g.Equiv(f) {
+		return false
+	}
+	off := f.Complement()
+	for i, c := range g.Cubes {
+		if !isImplicant(c, off) {
+			return false
+		}
+		// Primality: removing any literal must hit the off-set.
+		sup := c.Support()
+		for v := 0; v < cube.MaxVars; v++ {
+			if sup&(1<<uint(v)) == 0 {
+				continue
+			}
+			if isImplicant(c.Without(v), off) {
+				return false
+			}
+		}
+		rest := cube.Cover{N: g.N}
+		rest.Cubes = append(rest.Cubes, g.Cubes[:i]...)
+		rest.Cubes = append(rest.Cubes, g.Cubes[i+1:]...)
+		if rest.CoversCube(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// SupportSize returns the number of variables actually used by f.
+func SupportSize(f cube.Cover) int { return bits.OnesCount64(f.Support()) }

@@ -1,0 +1,269 @@
+package minimize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/lattice-tools/janus/internal/cube"
+	"github.com/lattice-tools/janus/internal/truth"
+)
+
+func randomCover(r *rand.Rand, n, k int) cube.Cover {
+	f := cube.Zero(n)
+	for i, m := 0, 1+r.Intn(k); i < m; i++ {
+		var c cube.Cube
+		for v := 0; v < n; v++ {
+			switch r.Intn(3) {
+			case 0:
+				c = c.WithPos(v)
+			case 1:
+				c = c.WithNeg(v)
+			}
+		}
+		f.Cubes = append(f.Cubes, c)
+	}
+	return f
+}
+
+func TestISOPClassic(t *testing.T) {
+	// f = ab + ab' minimizes to a.
+	f := cube.NewCover(2,
+		cube.FromLiterals([]int{0, 1}, nil),
+		cube.FromLiterals([]int{0}, []int{1}))
+	g := ISOP(f)
+	if len(g.Cubes) != 1 || g.Cubes[0] != cube.FromLiterals([]int{0}, nil) {
+		t.Fatalf("ISOP(ab+ab') = %v, want a", g)
+	}
+}
+
+func TestISOPConstants(t *testing.T) {
+	if g := ISOP(cube.Zero(3)); !g.IsZero() {
+		t.Fatalf("ISOP(0) = %v", g)
+	}
+	if g := ISOP(cube.One(3)); !g.IsOne() {
+		t.Fatalf("ISOP(1) = %v", g)
+	}
+	// x + !x should collapse to 1.
+	f := cube.NewCover(1, cube.FromLiterals([]int{0}, nil), cube.FromLiterals(nil, []int{0}))
+	if g := ISOP(f); !g.IsOne() {
+		t.Fatalf("ISOP(x+!x) = %v", g)
+	}
+}
+
+func TestISOPKeepsFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 80; i++ {
+		f := randomCover(rng, 6, 7)
+		g := ISOP(f)
+		if !truth.FromCover(f).Equal(truth.FromCover(g)) {
+			t.Fatalf("ISOP changed function: %v -> %v", f, g)
+		}
+	}
+}
+
+func TestISOPIsIrredundantPrime(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 60; i++ {
+		f := randomCover(rng, 6, 6)
+		g := ISOP(f)
+		if !IsIrredundantPrimeCover(g, f) {
+			t.Fatalf("ISOP output not an irredundant prime cover: %v -> %v", f, g)
+		}
+	}
+}
+
+func TestPrimesXor2(t *testing.T) {
+	// x ^ y has exactly two primes: xy' and x'y.
+	f := cube.NewCover(2,
+		cube.FromLiterals([]int{0}, []int{1}),
+		cube.FromLiterals([]int{1}, []int{0}))
+	ps := Primes(f)
+	if len(ps) != 2 {
+		t.Fatalf("Primes = %v", ps)
+	}
+}
+
+func TestPrimesConsensusChain(t *testing.T) {
+	// ab + a'c: primes are ab, a'c, bc.
+	f := cube.NewCover(3,
+		cube.FromLiterals([]int{0, 1}, nil),
+		cube.FromLiterals([]int{2}, []int{0}))
+	ps := Primes(f)
+	if len(ps) != 3 {
+		t.Fatalf("Primes = %v, want 3 primes", ps)
+	}
+	want := cube.FromLiterals([]int{1, 2}, nil)
+	found := false
+	for _, p := range ps {
+		if p == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("consensus prime bc missing from %v", ps)
+	}
+}
+
+func TestExactMajority(t *testing.T) {
+	// MAJ3 = ab + ac + bc: exactly 3 products.
+	f := cube.NewCover(3,
+		cube.FromLiterals([]int{0, 1}, nil),
+		cube.FromLiterals([]int{0, 2}, nil),
+		cube.FromLiterals([]int{1, 2}, nil))
+	g := Exact(f)
+	if len(g.Cubes) != 3 {
+		t.Fatalf("Exact(MAJ3) = %v, want 3 cubes", g)
+	}
+	if !g.Equiv(f) {
+		t.Fatal("Exact changed the function")
+	}
+}
+
+func TestExactCollapse(t *testing.T) {
+	// Four minterms of 2 vars = constant 1.
+	f := cube.Zero(2)
+	for p := uint64(0); p < 4; p++ {
+		var c cube.Cube
+		for v := 0; v < 2; v++ {
+			if p&(1<<uint(v)) != 0 {
+				c = c.WithPos(v)
+			} else {
+				c = c.WithNeg(v)
+			}
+		}
+		f.Cubes = append(f.Cubes, c)
+	}
+	g := Exact(f)
+	if !g.IsOne() {
+		t.Fatalf("Exact(all minterms) = %v, want 1", g)
+	}
+}
+
+// Property: heuristic never beats nor breaks the exact result's function,
+// and is at most a small factor larger.
+func TestPropISOPVsExact(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomCover(r, 5, 5)
+		h := ISOP(f)
+		e := Exact(f)
+		if !h.Equiv(f) || !e.Equiv(f) {
+			return false
+		}
+		return len(e.Cubes) <= len(h.Cubes)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every cube reported by Primes is prime and an implicant.
+func TestPropPrimesAretPrime(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomCover(r, 5, 4)
+		off := f.Complement()
+		for _, p := range Primes(f) {
+			if !isImplicant(p, off) {
+				return false
+			}
+			sup := p.Support()
+			for v := 0; v < cube.MaxVars; v++ {
+				if sup&(1<<uint(v)) == 0 {
+					continue
+				}
+				if isImplicant(p.Without(v), off) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestISOPDual(t *testing.T) {
+	f := cube.NewCover(3,
+		cube.FromLiterals([]int{0, 1}, nil),
+		cube.FromLiterals([]int{2}, nil))
+	isop, dual := ISOPDual(f)
+	if !isop.Equiv(f) {
+		t.Fatal("isop wrong")
+	}
+	if !dual.Equiv(f.Dual()) {
+		t.Fatal("dual isop wrong")
+	}
+}
+
+func TestFigure1Function(t *testing.T) {
+	// The paper's running example f = abcd + a'b'c'd' is already an ISOP
+	// with 2 products of degree 4.
+	f := cube.NewCover(4,
+		cube.FromLiterals([]int{0, 1, 2, 3}, nil),
+		cube.FromLiterals(nil, []int{0, 1, 2, 3}))
+	g := ISOP(f)
+	if len(g.Cubes) != 2 || g.Degree() != 4 {
+		t.Fatalf("ISOP(fig1) = %v", g)
+	}
+	// Its dual has 8 products (choose one literal per product, 2*... ).
+	d := ISOP(f.Dual())
+	if !d.Equiv(f.Dual()) {
+		t.Fatal("dual mismatched")
+	}
+}
+
+func TestEssentials(t *testing.T) {
+	// MAJ3: all three primes are essential.
+	f := cube.NewCover(3,
+		cube.FromLiterals([]int{0, 1}, nil),
+		cube.FromLiterals([]int{0, 2}, nil),
+		cube.FromLiterals([]int{1, 2}, nil))
+	ess := Essentials(f)
+	if len(ess) != 3 {
+		t.Fatalf("Essentials(MAJ3) = %v", ess)
+	}
+	// ab + a'c: the consensus prime bc is NOT essential.
+	g := cube.NewCover(3,
+		cube.FromLiterals([]int{0, 1}, nil),
+		cube.FromLiterals([]int{2}, []int{0}))
+	ess = Essentials(g)
+	for _, e := range ess {
+		if e == cube.FromLiterals([]int{1, 2}, nil) {
+			t.Fatal("bc must not be essential")
+		}
+	}
+	if len(ess) != 2 {
+		t.Fatalf("Essentials(ab+a'c) = %v", ess)
+	}
+	if len(Essentials(cube.One(2))) != 0 || len(Essentials(cube.Zero(2))) != 0 {
+		t.Fatal("constants have no essentials")
+	}
+}
+
+// Property: every essential prime appears in the exact minimum cover.
+func TestPropEssentialsInExact(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomCover(r, 5, 4)
+		if f.Absorb().IsZero() || f.Absorb().IsOne() {
+			return true
+		}
+		ex := Exact(f)
+		inEx := map[cube.Cube]bool{}
+		for _, c := range ex.Cubes {
+			inEx[c] = true
+		}
+		for _, e := range Essentials(f) {
+			if !inEx[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+// Package report holds small shared helpers for the benchmark harnesses:
+// parsing and formatting the paper's "MxN" solution notation and aligned
+// table rendering.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseSol parses the paper's solution notation "4x6" into rows, columns
+// and size. Malformed strings yield zeros.
+func ParseSol(sol string) (m, n, size int) {
+	if _, err := fmt.Sscanf(sol, "%dx%d", &m, &n); err != nil {
+		return 0, 0, 0
+	}
+	return m, n, m * n
+}
+
+// Sol formats rows×columns in the paper's notation.
+func Sol(m, n int) string { return fmt.Sprintf("%dx%d", m, n) }
+
+// Table accumulates rows of cells and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given header.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Add appends a row; short rows are padded with empty cells.
+func (t *Table) Add(cells ...string) { t.rows = append(t.rows, cells) }
+
+// String renders the table with single-space-padded aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i := 0; i < len(width); i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for p := len(c); p < width[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Gain returns the percentage improvement of measured over baseline
+// ((baseline-measured)/baseline × 100), or 0 for a zero baseline.
+func Gain(baseline, measured int) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return 100 * float64(baseline-measured) / float64(baseline)
+}

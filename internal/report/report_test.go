@@ -1,0 +1,45 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSol(t *testing.T) {
+	m, n, size := ParseSol("4x6")
+	if m != 4 || n != 6 || size != 24 {
+		t.Fatalf("ParseSol = %d %d %d", m, n, size)
+	}
+	if _, _, size := ParseSol("garbage"); size != 0 {
+		t.Fatal("malformed input should give zeros")
+	}
+	if Sol(3, 5) != "3x5" {
+		t.Fatal("Sol format wrong")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "size")
+	tb.Add("a", "10")
+	tb.Add("longer", "7")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) || len(lines[1]) != len(lines[2]) {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[2], "longer") {
+		t.Fatalf("row order wrong:\n%s", out)
+	}
+}
+
+func TestGain(t *testing.T) {
+	if g := Gain(200, 150); g != 25 {
+		t.Fatalf("Gain = %v", g)
+	}
+	if Gain(0, 10) != 0 {
+		t.Fatal("zero baseline must give 0")
+	}
+}

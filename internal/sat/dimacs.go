@@ -1,0 +1,68 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a DIMACS CNF formula into a fresh Solver. The "p cnf"
+// header is honored when present; variables beyond the declared count are
+// grown on demand. Comment lines (c ...) and the optional trailing "%"
+// section of SATLIB files are ignored.
+func ParseDIMACS(r io.Reader) (*Solver, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<22)
+	s := New(0)
+	var clause []Lit
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == 'c' || text[0] == '%' {
+			continue
+		}
+		if strings.HasPrefix(text, "p ") {
+			fields := strings.Fields(text)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: line %d: malformed problem line %q", line, text)
+			}
+			nVars, err := strconv.Atoi(fields[2])
+			if err != nil || nVars < 0 {
+				return nil, fmt.Errorf("sat: line %d: bad variable count", line)
+			}
+			s.grow(nVars)
+			continue
+		}
+		for _, tok := range strings.Fields(text) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: line %d: bad literal %q", line, tok)
+			}
+			if v == 0 {
+				if err := s.AddClause(clause...); err != nil {
+					return s, nil // already unsat; rest is irrelevant
+				}
+				clause = clause[:0]
+				continue
+			}
+			neg := v < 0
+			if neg {
+				v = -v
+			}
+			clause = append(clause, MkLit(v-1, neg))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(clause) > 0 {
+		// Tolerate a final clause without the terminating 0.
+		if err := s.AddClause(clause...); err != nil {
+			return s, nil
+		}
+	}
+	return s, nil
+}

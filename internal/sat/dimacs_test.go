@@ -1,0 +1,102 @@
+package sat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACSSat(t *testing.T) {
+	s, err := ParseDIMACS(strings.NewReader(`c a comment
+p cnf 3 3
+1 -2 0
+2 3 0
+-1 0
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Solve(Limits{}); st != Sat {
+		t.Fatalf("status = %v", st)
+	}
+	if s.Model(0) { // -1 forced
+		t.Fatal("x1 must be false")
+	}
+}
+
+func TestParseDIMACSUnsat(t *testing.T) {
+	s, err := ParseDIMACS(strings.NewReader("p cnf 1 2\n1 0\n-1 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Solve(Limits{}); st != Unsat {
+		t.Fatalf("status = %v", st)
+	}
+}
+
+func TestParseDIMACSNoHeader(t *testing.T) {
+	// Header-free and final clause without terminating 0.
+	s, err := ParseDIMACS(strings.NewReader("1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Solve(Limits{}); st != Sat {
+		t.Fatalf("status = %v", st)
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	for _, text := range []string{
+		"p cnf x 3\n",
+		"p dnf 2 2\n",
+		"1 two 0\n",
+	} {
+		if _, err := ParseDIMACS(strings.NewReader(text)); err == nil {
+			t.Errorf("expected error for %q", text)
+		}
+	}
+}
+
+// TestDIMACSRoundTripAgainstDirect: a random formula fed via DIMACS text
+// decides the same as clauses added directly.
+func TestDIMACSRoundTripAgainstDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		nVars := 4 + rng.Intn(6)
+		cls := randomCNF(rng, nVars, 8+rng.Intn(25), 3)
+		var sb strings.Builder
+		sb.WriteString("p cnf 0 0\n")
+		direct := New(nVars)
+		for _, c := range cls {
+			direct.AddClause(c...)
+			for _, l := range c {
+				if l.IsNeg() {
+					sb.WriteString("-")
+				}
+				sb.WriteString(itoa(l.Var()+1) + " ")
+			}
+			sb.WriteString("0\n")
+		}
+		parsed, err := ParseDIMACS(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (direct.Solve(Limits{}) == Sat) != (parsed.Solve(Limits{}) == Sat) {
+			t.Fatalf("trial %d: DIMACS round trip changed the answer", trial)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

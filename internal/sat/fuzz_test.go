@@ -1,0 +1,32 @@
+package sat
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDIMACS checks the DIMACS reader never panics and that solvable
+// parses yield internally consistent models.
+func FuzzParseDIMACS(f *testing.F) {
+	f.Add("p cnf 3 2\n1 -2 0\n2 3 0\n")
+	f.Add("1 0\n-1 0\n")
+	f.Add("c comment\np cnf 1 1\n1 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<12 {
+			return
+		}
+		s, err := ParseDIMACS(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if s.NumVars() > 64 || s.NumClauses() > 512 {
+			return // keep the fuzz executions cheap
+		}
+		if st := s.Solve(Limits{MaxConflicts: 2000}); st == Sat {
+			// A model must exist for every variable index queried.
+			for v := 0; v < s.NumVars(); v++ {
+				_ = s.Model(v)
+			}
+		}
+	})
+}

@@ -1,0 +1,723 @@
+// Package sat implements a conflict-driven clause-learning (CDCL) SAT
+// solver in the MiniSat/glucose tradition. It fills the role glucose 4.1
+// plays for JANUS: deciding the CNF encodings of lattice mapping problems
+// under a configurable time / conflict budget.
+//
+// Features: two-watched-literal propagation, first-UIP conflict analysis
+// with recursive clause minimization, VSIDS variable activity with phase
+// saving, Luby restarts, and glucose-style learnt-clause database
+// reduction keyed on the literal block distance (LBD).
+package sat
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Lit is a literal: variable v (0-based) encoded as 2v for the positive
+// literal and 2v+1 for the negation.
+type Lit int32
+
+// MkLit builds the literal of variable v with the given polarity.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// IsNeg reports whether the literal is negated.
+func (l Lit) IsNeg() bool { return l&1 == 1 }
+
+// Not returns the complement literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// String renders the literal as v or ¬v (1-based like DIMACS).
+func (l Lit) String() string {
+	if l.IsNeg() {
+		return fmt.Sprintf("-%d", l.Var()+1)
+	}
+	return fmt.Sprintf("%d", l.Var()+1)
+}
+
+// Status is the result of a Solve call.
+type Status int
+
+const (
+	// Unknown means the budget was exhausted before a decision.
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula was proved unsatisfiable.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Limits bounds a Solve call. Zero values mean unlimited.
+type Limits struct {
+	MaxConflicts int64
+	Timeout      time.Duration
+}
+
+// Stats reports search effort counters.
+type Stats struct {
+	Decisions    int64
+	Conflicts    int64
+	Propagations int64
+	Restarts     int64
+	Learnts      int64
+	Removed      int64
+}
+
+type clause struct {
+	lits   []Lit
+	learnt bool
+	lbd    int32
+	act    float32
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+// binWatcher is the specialized watch entry for two-literal clauses: when
+// the watched literal is falsified, other must hold.
+type binWatcher struct {
+	other Lit
+	c     *clause
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = 0
+	lTrue  lbool = 1
+	lFalse lbool = -1
+)
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	nVars      int
+	clauses    []*clause
+	learnts    []*clause
+	watches    [][]watcher
+	binWatches [][]binWatcher
+
+	assign   []lbool // per literal (2v positive, 2v+1 negative)
+	level    []int32
+	reason   []*clause
+	phase    []bool // saved phases
+	activity []float64
+	varInc   float64
+	varDecay float64
+
+	heap    []int32 // binary max-heap of variables by activity
+	heapPos []int32 // position in heap, -1 if absent
+
+	trail    []Lit
+	trailLim []int32
+	qhead    int
+
+	claInc   float32
+	ok       bool
+	stats    Stats
+	seen     []bool
+	lbdStamp []int64
+	lbdGen   int64
+
+	learntCap int
+}
+
+// New returns a solver over nVars variables.
+func New(nVars int) *Solver {
+	s := &Solver{varDecay: 0.95, varInc: 1.0, claInc: 1.0, ok: true, learntCap: 8192}
+	s.grow(nVars)
+	return s
+}
+
+func (s *Solver) grow(nVars int) {
+	for v := s.nVars; v < nVars; v++ {
+		s.assign = append(s.assign, lUndef, lUndef)
+		s.level = append(s.level, 0)
+		s.reason = append(s.reason, nil)
+		s.phase = append(s.phase, false)
+		s.activity = append(s.activity, 0)
+		s.seen = append(s.seen, false)
+		s.lbdStamp = append(s.lbdStamp, 0)
+		s.watches = append(s.watches, nil, nil)
+		s.binWatches = append(s.binWatches, nil, nil)
+		s.heapPos = append(s.heapPos, -1)
+		s.heapInsert(int32(v))
+	}
+	s.nVars = nVars
+}
+
+// NumVars returns the variable count.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// NumClauses returns the number of problem clauses currently stored.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// Stats returns search counters accumulated so far.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// AddVar allocates a fresh variable and returns its index.
+func (s *Solver) AddVar() int {
+	v := s.nVars
+	s.grow(v + 1)
+	return v
+}
+
+func (s *Solver) value(l Lit) lbool { return s.assign[l] }
+
+// ErrAddAfterUnsat is returned when clauses are added to a solver already
+// known to be unsatisfiable.
+var ErrAddAfterUnsat = errors.New("sat: solver is already unsatisfiable")
+
+// AddClause adds a clause given as a literal slice. It performs level-0
+// simplifications: duplicate removal, tautology elimination, false-literal
+// stripping. Adding the empty clause makes the solver permanently Unsat.
+func (s *Solver) AddClause(lits ...Lit) error {
+	if !s.ok {
+		return ErrAddAfterUnsat
+	}
+	if len(s.trailLim) != 0 {
+		panic("sat: AddClause above decision level 0")
+	}
+	// Normalize.
+	ls := append([]Lit(nil), lits...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev Lit = -1
+	for _, l := range ls {
+		if int(l>>1) >= s.nVars {
+			s.grow(int(l>>1) + 1)
+		}
+		if l == prev {
+			continue
+		}
+		if prev >= 0 && l == prev.Not() {
+			return nil // tautology
+		}
+		switch s.value(l) {
+		case lTrue:
+			return nil // already satisfied at level 0
+		case lFalse:
+			continue // drop falsified literal
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return nil
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.ok = false
+		}
+		return nil
+	}
+	c := &clause{lits: append([]Lit(nil), out...)}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return nil
+}
+
+func (s *Solver) attach(c *clause) {
+	if len(c.lits) == 2 {
+		s.binWatches[c.lits[0].Not()] = append(s.binWatches[c.lits[0].Not()], binWatcher{c.lits[1], c})
+		s.binWatches[c.lits[1].Not()] = append(s.binWatches[c.lits[1].Not()], binWatcher{c.lits[0], c})
+		return
+	}
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, c.lits[0]})
+}
+
+func (s *Solver) detach(c *clause) {
+	if len(c.lits) == 2 {
+		for _, w := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+			ws := s.binWatches[w]
+			for i := range ws {
+				if ws[i].c == c {
+					ws[i] = ws[len(ws)-1]
+					s.binWatches[w] = ws[:len(ws)-1]
+					break
+				}
+			}
+		}
+		return
+	}
+	for _, w := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+		ws := s.watches[w]
+		for i := range ws {
+			if ws[i].c == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[w] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	s.assign[l] = lTrue
+	s.assign[l^1] = lFalse
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; returns a conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+		notP := p.Not()
+		// Binary clauses first: no watch juggling needed.
+		for _, bw := range s.binWatches[p] {
+			switch s.value(bw.other) {
+			case lFalse:
+				s.qhead = len(s.trail)
+				return bw.c
+			case lUndef:
+				s.uncheckedEnqueue(bw.other, bw.c)
+			}
+		}
+		ws := s.watches[p]
+		n := 0
+	nextWatcher:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.value(w.blocker) == lTrue {
+				ws[n] = w
+				n++
+				continue
+			}
+			c := w.c
+			// Make sure the falsified literal is lits[1].
+			if c.lits[0] == notP {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				ws[n] = watcher{c, first}
+				n++
+				continue
+			}
+			// Look for a new watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, first})
+					continue nextWatcher
+				}
+			}
+			// Unit or conflict.
+			ws[n] = watcher{c, first}
+			n++
+			if s.value(first) == lFalse {
+				// Conflict: copy back remaining watchers and bail.
+				for i++; i < len(ws); i++ {
+					ws[n] = ws[i]
+					n++
+				}
+				s.watches[p] = ws[:n]
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = ws[:n]
+	}
+	return nil
+}
+
+func (s *Solver) varBump(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	if s.heapPos[v] >= 0 {
+		s.heapUp(s.heapPos[v])
+	}
+}
+
+func (s *Solver) varDecayActivity() { s.varInc /= s.varDecay }
+
+func (s *Solver) claBump(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e30 {
+		for _, lc := range s.learnts {
+			lc.act *= 1e-30
+		}
+		s.claInc *= 1e-30
+	}
+}
+
+// lbdPrecise counts the distinct decision levels among the clause literals
+// (the glucose LBD measure), using a stamped array to avoid allocation.
+func (s *Solver) lbdPrecise(lits []Lit) int32 {
+	s.lbdGen++
+	var n int32
+	for _, l := range lits {
+		lv := int(s.level[l.Var()])
+		if lv == 0 {
+			continue
+		}
+		for lv >= len(s.lbdStamp) {
+			s.lbdStamp = append(s.lbdStamp, 0)
+		}
+		if s.lbdStamp[lv] != s.lbdGen {
+			s.lbdStamp[lv] = s.lbdGen
+			n++
+		}
+	}
+	return n
+}
+
+// analyze performs first-UIP conflict analysis. It returns the learnt
+// clause (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // placeholder for the asserting literal
+	pathC := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+	var toClear []int
+
+	for {
+		s.claBump(confl)
+		for _, q := range confl.lits {
+			if p >= 0 && q == p {
+				continue
+			}
+			v := q.Var()
+			if !s.seen[v] && s.level[v] > 0 {
+				s.seen[v] = true
+				toClear = append(toClear, v)
+				s.varBump(v)
+				if int(s.level[v]) >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Select next literal to look at.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		confl = s.reason[v]
+		pathC--
+		if pathC == 0 {
+			break
+		}
+	}
+	learnt[0] = p.Not()
+
+	// Clause minimization: drop literals implied by the rest. The literals
+	// of learnt[1:] are still marked seen, which redundant() relies on.
+	out := learnt[:1]
+	for i := 1; i < len(learnt); i++ {
+		if !s.redundant(learnt[i]) {
+			out = append(out, learnt[i])
+		}
+	}
+	learnt = out
+	for _, v := range toClear {
+		s.seen[v] = false
+	}
+
+	// Backtrack level: max level among learnt[1:], and move that literal to
+	// position 1 for watching.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+	return learnt, btLevel
+}
+
+// redundant reports whether literal l of a learnt clause is implied by the
+// remaining marked literals (simple non-recursive check on its reason).
+func (s *Solver) redundant(l Lit) bool {
+	r := s.reason[l.Var()]
+	if r == nil {
+		return false
+	}
+	for _, q := range r.lits {
+		if q.Var() == l.Var() {
+			continue
+		}
+		if s.level[q.Var()] != 0 && !s.seen[q.Var()] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) backtrackTo(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	lim := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= int(lim); i-- {
+		l := s.trail[i]
+		v := l.Var()
+		s.phase[v] = s.assign[l&^1] == lTrue
+		s.assign[l] = lUndef
+		s.assign[l^1] = lUndef
+		s.reason[v] = nil
+		if s.heapPos[v] < 0 {
+			s.heapInsert(int32(v))
+		}
+	}
+	s.trail = s.trail[:lim]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+// --- decision heap -------------------------------------------------------
+
+func (s *Solver) heapLess(a, b int32) bool { return s.activity[a] > s.activity[b] }
+
+func (s *Solver) heapInsert(v int32) {
+	s.heapPos[v] = int32(len(s.heap))
+	s.heap = append(s.heap, v)
+	s.heapUp(s.heapPos[v])
+}
+
+func (s *Solver) heapUp(i int32) {
+	v := s.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.heapLess(v, s.heap[parent]) {
+			break
+		}
+		s.heap[i] = s.heap[parent]
+		s.heapPos[s.heap[i]] = i
+		i = parent
+	}
+	s.heap[i] = v
+	s.heapPos[v] = i
+}
+
+func (s *Solver) heapDown(i int32) {
+	v := s.heap[i]
+	n := int32(len(s.heap))
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && s.heapLess(s.heap[c+1], s.heap[c]) {
+			c++
+		}
+		if !s.heapLess(s.heap[c], v) {
+			break
+		}
+		s.heap[i] = s.heap[c]
+		s.heapPos[s.heap[i]] = i
+		i = c
+	}
+	s.heap[i] = v
+	s.heapPos[v] = i
+}
+
+func (s *Solver) heapPop() int32 {
+	v := s.heap[0]
+	last := s.heap[len(s.heap)-1]
+	s.heap = s.heap[:len(s.heap)-1]
+	s.heapPos[v] = -1
+	if len(s.heap) > 0 {
+		s.heap[0] = last
+		s.heapPos[last] = 0
+		s.heapDown(0)
+	}
+	return v
+}
+
+func (s *Solver) pickBranchVar() int {
+	for len(s.heap) > 0 {
+		v := s.heapPop()
+		if s.assign[v<<1] == lUndef {
+			return int(v)
+		}
+	}
+	return -1
+}
+
+// --- learnt DB management ------------------------------------------------
+
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learnts, func(i, j int) bool {
+		a, b := s.learnts[i], s.learnts[j]
+		if a.lbd != b.lbd {
+			return a.lbd > b.lbd // worst first
+		}
+		return a.act < b.act
+	})
+	keepFrom := len(s.learnts) / 2
+	kept := s.learnts[:0]
+	for i, c := range s.learnts {
+		locked := false
+		if s.value(c.lits[0]) == lTrue && s.reason[c.lits[0].Var()] == c {
+			locked = true
+		}
+		if i >= keepFrom || c.lbd <= 3 || len(c.lits) == 2 || locked {
+			kept = append(kept, c)
+		} else {
+			s.detach(c)
+			s.stats.Removed++
+		}
+	}
+	s.learnts = kept
+}
+
+// luby returns element x (0-based) of the Luby restart sequence
+// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,... (MiniSat's formulation).
+func luby(x int64) int64 {
+	size, seq := int64(1), uint(0)
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) >> 1
+		seq--
+		x %= size
+	}
+	return int64(1) << seq
+}
+
+// Solve runs the CDCL search under the given limits. When the result is
+// Sat, Model returns the satisfying assignment.
+func (s *Solver) Solve(lim Limits) Status {
+	if !s.ok {
+		return Unsat
+	}
+	var deadline time.Time
+	if lim.Timeout > 0 {
+		deadline = time.Now().Add(lim.Timeout)
+	}
+	restartN := int64(0)
+	for {
+		budget := luby(restartN) * 128
+		restartN++
+		st := s.search(budget, lim, deadline)
+		if st != Unknown {
+			return st
+		}
+		if lim.MaxConflicts > 0 && s.stats.Conflicts >= lim.MaxConflicts {
+			s.backtrackTo(0)
+			return Unknown
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			s.backtrackTo(0)
+			return Unknown
+		}
+		s.stats.Restarts++
+	}
+}
+
+func (s *Solver) search(budget int64, lim Limits, deadline time.Time) Status {
+	conflicts := int64(0)
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.backtrackTo(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true}
+				c.lbd = s.lbdPrecise(learnt)
+				s.learnts = append(s.learnts, c)
+				s.stats.Learnts++
+				s.attach(c)
+				s.claBump(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.varDecayActivity()
+			continue
+		}
+		// No conflict.
+		if conflicts >= budget {
+			s.backtrackTo(0)
+			return Unknown
+		}
+		if lim.MaxConflicts > 0 && s.stats.Conflicts >= lim.MaxConflicts {
+			s.backtrackTo(0)
+			return Unknown
+		}
+		if conflicts%256 == 0 && !deadline.IsZero() && time.Now().After(deadline) {
+			s.backtrackTo(0)
+			return Unknown
+		}
+		if len(s.learnts) > s.learntCap+len(s.trail) {
+			s.reduceDB()
+			s.learntCap += 256
+		}
+		v := s.pickBranchVar()
+		if v < 0 {
+			return Sat // all variables assigned
+		}
+		s.stats.Decisions++
+		s.trailLim = append(s.trailLim, int32(len(s.trail)))
+		s.uncheckedEnqueue(MkLit(v, !s.phase[v]), nil)
+	}
+}
+
+// Model returns the value of variable v in the last satisfying assignment.
+// Only meaningful immediately after Solve returned Sat.
+func (s *Solver) Model(v int) bool { return s.assign[v<<1] == lTrue }
+
+// ModelSlice copies the full model into a bool slice.
+func (s *Solver) ModelSlice() []bool {
+	m := make([]bool, s.nVars)
+	for v := 0; v < s.nVars; v++ {
+		m[v] = s.assign[v<<1] == lTrue
+	}
+	return m
+}

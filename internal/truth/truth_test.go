@@ -1,0 +1,162 @@
+package truth
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/lattice-tools/janus/internal/cube"
+)
+
+func TestFromCoverMatchesEval(t *testing.T) {
+	f := cube.NewCover(3,
+		cube.FromLiterals([]int{0, 1}, nil),
+		cube.FromLiterals(nil, []int{2}))
+	tab := FromCover(f)
+	for p := uint64(0); p < 8; p++ {
+		if tab.Get(p) != f.Eval(p) {
+			t.Fatalf("mismatch at %b", p)
+		}
+	}
+}
+
+func TestConstantTables(t *testing.T) {
+	z := FromCover(cube.Zero(4))
+	o := FromCover(cube.One(4))
+	if !z.IsZero() || z.IsOne() {
+		t.Fatal("zero table misclassified")
+	}
+	if !o.IsOne() || o.IsZero() {
+		t.Fatal("one table misclassified")
+	}
+	if z.CountOnes() != 0 || o.CountOnes() != 16 {
+		t.Fatal("CountOnes wrong")
+	}
+}
+
+func TestComplementAndDual(t *testing.T) {
+	f := cube.NewCover(3, cube.FromLiterals([]int{0}, []int{1}))
+	tab := FromCover(f)
+	comp := tab.Complement()
+	for p := uint64(0); p < 8; p++ {
+		if comp.Get(p) == tab.Get(p) {
+			t.Fatalf("complement wrong at %b", p)
+		}
+	}
+	dual := tab.Dual()
+	for p := uint64(0); p < 8; p++ {
+		if dual.Get(p) != !tab.Get(^p&7) {
+			t.Fatalf("dual wrong at %b", p)
+		}
+	}
+}
+
+func TestMintermsMaxterms(t *testing.T) {
+	f := cube.NewCover(2, cube.FromLiterals([]int{0, 1}, nil))
+	tab := FromCover(f)
+	if m := tab.Minterms(); len(m) != 1 || m[0] != 3 {
+		t.Fatalf("Minterms = %v", m)
+	}
+	if m := tab.Maxterms(); len(m) != 3 {
+		t.Fatalf("Maxterms = %v", m)
+	}
+}
+
+func TestSmallN(t *testing.T) {
+	// N < 6 exercises the partial-word masking paths.
+	tab := New(2)
+	tab.Set(0, true)
+	tab.Set(3, true)
+	if tab.CountOnes() != 2 {
+		t.Fatalf("CountOnes = %d", tab.CountOnes())
+	}
+	u := New(2)
+	u.Set(0, true)
+	u.Set(3, true)
+	if !tab.Equal(u) {
+		t.Fatal("Equal failed on identical tables")
+	}
+	u.Set(1, true)
+	if tab.Equal(u) {
+		t.Fatal("Equal failed to distinguish")
+	}
+}
+
+func TestLargeN(t *testing.T) {
+	// 10 variables spans multiple words.
+	f := cube.NewCover(10, cube.FromLiterals([]int{9}, nil))
+	tab := FromCover(f)
+	if tab.CountOnes() != 512 {
+		t.Fatalf("CountOnes = %d, want 512", tab.CountOnes())
+	}
+	if !tab.EquivCover(f) {
+		t.Fatal("EquivCover failed")
+	}
+}
+
+func TestString(t *testing.T) {
+	f := cube.NewCover(2, cube.FromLiterals([]int{0}, nil))
+	if got := FromCover(f).String(); got != "0101" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func randomCover(r *rand.Rand, n, k int) cube.Cover {
+	f := cube.Zero(n)
+	for i, m := 0, 1+r.Intn(k); i < m; i++ {
+		var c cube.Cube
+		for v := 0; v < n; v++ {
+			switch r.Intn(3) {
+			case 0:
+				c = c.WithPos(v)
+			case 1:
+				c = c.WithNeg(v)
+			}
+		}
+		f.Cubes = append(f.Cubes, c)
+	}
+	return f
+}
+
+// Property: table construction agrees with direct cover evaluation.
+func TestPropFromCoverPointwise(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomCover(r, 7, 6)
+		tab := FromCover(f)
+		for p := uint64(0); p < 128; p++ {
+			if tab.Get(p) != f.Eval(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dual of dual is the identity on tables.
+func TestPropDualInvolution(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomCover(r, 6, 5)
+		tab := FromCover(f)
+		return tab.Dual().Dual().Equal(tab)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: table dual matches cover dual.
+func TestPropDualMatchesCoverDual(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomCover(r, 5, 5)
+		return FromCover(f.Dual()).Equal(FromCover(f).Dual())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package janus is a Go implementation of JANUS, the satisfiability-based
+// approximate algorithm for logic synthesis on switching lattices of
+// four-terminal switches (Aksoy & Altun, DATE 2019).
+//
+// A switching lattice is an m×n grid of four-terminal switches; the
+// lattice computes 1 when its on switches form a 4-connected path between
+// the top and bottom plates. Synthesize maps a Boolean function onto a
+// lattice with (approximately) the minimum number of switches by encoding
+// the lattice mapping decision problem as SAT and running a dichotomic
+// search over lattice sizes between improved lower and upper bounds;
+// SynthesizeMulti packs several functions onto a single lattice.
+//
+// The package is a thin facade: the algorithm and its substrates (cube
+// algebra, two-level minimizer, CDCL SAT solver, path enumeration, bound
+// constructions, baselines) live in internal packages and are re-exported
+// here as aliases so applications deal with a single import.
+//
+//	f := janus.NewCover(4,
+//	    janus.Product([]int{0, 1, 2, 3}, nil),  // abcd
+//	    janus.Product(nil, []int{0, 1, 2, 3}))  // a'b'c'd'
+//	res, err := janus.Synthesize(f, janus.Options{})
+//	// res.Grid == 4x2, res.Assignment prints the switch grid.
+package janus
+
+import (
+	"io"
+
+	"github.com/lattice-tools/janus/internal/baselines"
+	"github.com/lattice-tools/janus/internal/bounds"
+	"github.com/lattice-tools/janus/internal/core"
+	"github.com/lattice-tools/janus/internal/cube"
+	"github.com/lattice-tools/janus/internal/encode"
+	"github.com/lattice-tools/janus/internal/lattice"
+	"github.com/lattice-tools/janus/internal/minimize"
+	"github.com/lattice-tools/janus/internal/pla"
+	"github.com/lattice-tools/janus/internal/sat"
+)
+
+// Core value types.
+type (
+	// Cube is a product (conjunction) of literals.
+	Cube = cube.Cube
+	// Cover is a sum of products; the input and output form for targets.
+	Cover = cube.Cover
+	// Grid is an m×n lattice shape.
+	Grid = lattice.Grid
+	// Assignment is a fully specified lattice implementation.
+	Assignment = lattice.Assignment
+	// Entry is the control assignment of one switch.
+	Entry = lattice.Entry
+	// Options configures Synthesize.
+	Options = core.Options
+	// Result is the outcome of Synthesize.
+	Result = core.Result
+	// MultiResult is the outcome of SynthesizeMulti.
+	MultiResult = core.MultiResult
+	// MultiLattice is a single lattice realizing several functions.
+	MultiLattice = core.MultiLattice
+	// EncodeOptions tunes the lattice-mapping SAT formulation.
+	EncodeOptions = encode.Options
+	// SATLimits bounds individual SAT calls.
+	SATLimits = sat.Limits
+	// PLA is a parsed espresso-format file.
+	PLA = pla.File
+	// BaselineResult is the outcome of the comparison algorithms.
+	BaselineResult = baselines.Result
+	// BaselineOptions configures the comparison algorithms.
+	BaselineOptions = baselines.Options
+	// UpperBound is a named, verified bound construction.
+	UpperBound = bounds.Bound
+)
+
+// Switch entry kinds for building assignments by hand.
+const (
+	Const0 = lattice.Const0
+	Const1 = lattice.Const1
+	PosVar = lattice.PosVar
+	NegVar = lattice.NegVar
+)
+
+// Product builds a cube from positive and negated variable index lists.
+func Product(pos, neg []int) Cube { return cube.FromLiterals(pos, neg) }
+
+// NewCover builds a sum-of-products function over n input variables.
+func NewCover(n int, products ...Cube) Cover { return cube.NewCover(n, products...) }
+
+// Minimize returns an irredundant prime cover of f with a minimized
+// product count (the role espresso plays in the paper).
+func Minimize(f Cover) Cover { return minimize.Auto(f) }
+
+// Dual returns the dual function f^D(x) = ¬f(¬x) as a cover.
+func Dual(f Cover) Cover { return f.Dual() }
+
+// Synthesize runs JANUS on a single-output function and returns a
+// verified lattice implementation of (approximately) minimum size.
+func Synthesize(f Cover, opt Options) (Result, error) { return core.Synthesize(f, opt) }
+
+// SynthesizeMulti runs JANUS-MF, realizing every function on one lattice;
+// with reduce=false it stops after the straight-forward packing.
+func SynthesizeMulti(fns []Cover, opt Options, reduce bool) (*MultiResult, error) {
+	return core.SynthesizeMulti(fns, opt, reduce)
+}
+
+// LMResult is the outcome of a single lattice mapping decision.
+type LMResult = encode.Result
+
+// MapOnto decides the paper's core subproblem directly: can f be realized
+// on the given lattice? The function is Auto-minimized first; a Sat result
+// carries a verified assignment.
+func MapOnto(f Cover, g Grid, opt EncodeOptions) (LMResult, error) {
+	isop, dual := minimize.AutoDual(f)
+	return encode.SolveLM(isop, dual, g, opt)
+}
+
+// Bounds returns the verified upper-bound constructions for f, sorted by
+// size; improved selects whether IPS and IDPS are included.
+func Bounds(f Cover, improved bool) []UpperBound {
+	isop, dual := minimize.AutoDual(f)
+	return bounds.All(isop, dual, improved)
+}
+
+// LowerBound returns the structural lower bound on the lattice size of f,
+// capped at max.
+func LowerBound(f Cover, max int) int {
+	isop, dual := minimize.AutoDual(f)
+	return bounds.LowerBound(isop, dual, max)
+}
+
+// LatticeFunction returns the lattice function of an m×n grid as a cover
+// over the switch indexes (row-major), and its product count is the Table
+// I "top" entry.
+func LatticeFunction(g Grid) Cover { return g.Function() }
+
+// LatticeDual returns the dual lattice function (8-connected left–right
+// paths), the Table I "bottom" entry.
+func LatticeDual(g Grid) Cover { return g.DualFunction() }
+
+// ParsePLA reads an espresso-format PLA file.
+func ParsePLA(r io.Reader) (*PLA, error) { return pla.Parse(r) }
+
+// ParsePLAString reads a PLA held in a string.
+func ParsePLAString(s string) (*PLA, error) { return pla.ParseString(s) }
+
+// WritePLA serializes a PLA file.
+func WritePLA(w io.Writer, f *PLA) error { return pla.Write(w, f) }
+
+// ExactBaseline runs the exact method of Gange et al. (TODAES 2014).
+func ExactBaseline(f Cover, opt BaselineOptions) (BaselineResult, error) {
+	return baselines.ExactGange(f, opt)
+}
+
+// ApproxBaseline runs the approximate method of Gange et al.
+func ApproxBaseline(f Cover, opt BaselineOptions) (BaselineResult, error) {
+	return baselines.ApproxGange(f, opt)
+}
+
+// HeuristicBaseline runs the promising-candidate heuristic of Morgül &
+// Altun.
+func HeuristicBaseline(f Cover, opt BaselineOptions) (BaselineResult, error) {
+	return baselines.Heuristic(f, opt)
+}
+
+// DecomposeBaseline runs the Shannon-decomposition synthesis modeled on
+// Bernasconi et al.'s p-circuit method.
+func DecomposeBaseline(f Cover, opt BaselineOptions) (BaselineResult, error) {
+	return baselines.Decompose(f, opt)
+}

@@ -1,0 +1,139 @@
+package janus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	f := NewCover(4,
+		Product([]int{0, 1, 2, 3}, nil),
+		Product(nil, []int{0, 1, 2, 3}))
+	res, err := Synthesize(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != 8 {
+		t.Fatalf("size = %d, want 8", res.Size)
+	}
+	if !res.Assignment.Realizes(res.ISOP) {
+		t.Fatal("unverified result")
+	}
+}
+
+func TestFacadeMinimizeAndDual(t *testing.T) {
+	f := NewCover(2,
+		Product([]int{0, 1}, nil),
+		Product([]int{0}, []int{1}))
+	m := Minimize(f)
+	if len(m.Cubes) != 1 {
+		t.Fatalf("Minimize = %v", m)
+	}
+	d := Dual(m) // dual of a is a
+	if !d.Equiv(m) {
+		t.Fatalf("Dual(a) = %v", d)
+	}
+}
+
+func TestFacadeBounds(t *testing.T) {
+	f := NewCover(5,
+		Product([]int{2, 3}, nil),
+		Product(nil, []int{2, 3}),
+		Product([]int{0, 1, 4}, nil),
+		Product(nil, []int{0, 1, 4}))
+	bs := Bounds(f, true)
+	if len(bs) == 0 {
+		t.Fatal("no bounds")
+	}
+	if lb := LowerBound(f, 100); lb != 12 {
+		t.Fatalf("LowerBound = %d, want 12", lb)
+	}
+}
+
+func TestFacadeLatticeFunctions(t *testing.T) {
+	g := Grid{M: 3, N: 3}
+	if n := len(LatticeFunction(g).Cubes); n != 9 {
+		t.Fatalf("|f_3x3| = %d", n)
+	}
+	if n := len(LatticeDual(g).Cubes); n != 17 {
+		t.Fatalf("|dual| = %d", n)
+	}
+}
+
+func TestFacadePLA(t *testing.T) {
+	f, err := ParsePLAString(".i 2\n.o 1\n11 1\n.e\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Synthesize(f.Covers[0], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != 2 {
+		t.Fatalf("ab should fit 2 switches, got %d", res.Size)
+	}
+	var sb strings.Builder
+	if err := WritePLA(&sb, f); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), ".i 2") {
+		t.Fatal("write lost header")
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	f := NewCover(3,
+		Product([]int{0, 1}, nil),
+		Product([]int{2}, nil))
+	jr, err := Synthesize(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, run := range map[string]func(Cover, BaselineOptions) (BaselineResult, error){
+		"exact":     ExactBaseline,
+		"approx":    ApproxBaseline,
+		"heuristic": HeuristicBaseline,
+	} {
+		br, err := run(f, BaselineOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if br.Size < jr.Size {
+			t.Fatalf("%s beat JANUS: %d < %d", name, br.Size, jr.Size)
+		}
+	}
+}
+
+func TestFacadeMulti(t *testing.T) {
+	fns := []Cover{
+		NewCover(3, Product([]int{0, 1}, nil)),
+		NewCover(3, Product([]int{2}, []int{0})),
+	}
+	mr, err := SynthesizeMulti(fns, Options{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mr.Lattice.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeMapOnto(t *testing.T) {
+	f := NewCover(4,
+		Product([]int{0, 1, 2, 3}, nil),
+		Product(nil, []int{0, 1, 2, 3}))
+	r, err := MapOnto(f, Grid{M: 4, N: 2}, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Assignment == nil || !r.Assignment.Realizes(Minimize(f)) {
+		t.Fatal("MapOnto SAT result must verify")
+	}
+	r, err = MapOnto(f, Grid{M: 2, N: 2}, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Assignment != nil {
+		t.Fatal("2x2 must be infeasible")
+	}
+}

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Regenerates the measured-results sections of EXPERIMENTS.md from the
+# harness outputs (.tableii_janus.txt / .tableiii.txt produced by
+# cmd/tableii and cmd/tableiii).
+set -e
+cd "$(dirname "$0")/.."
+python3 - <<'PY'
+import re
+
+doc = open('EXPERIMENTS.md').read()
+
+def block(path):
+    try:
+        body = open(path).read().strip()
+    except FileNotFoundError:
+        return f"*(no harness output at {path})*"
+    body = body.replace('DONE', '').strip()
+    return f"```\n{body}\n```"
+
+doc = re.sub(r'<!-- TABLEII-RESULTS -->.*?(?=\n## )',
+             '<!-- TABLEII-RESULTS -->\n\n' + block('.tableii_janus.txt') + '\n\n',
+             doc, flags=re.S)
+doc = re.sub(r'<!-- TABLEIII-RESULTS -->.*?(?=\n## )',
+             '<!-- TABLEIII-RESULTS -->\n\n' + block('.tableiii.txt') + '\n\n',
+             doc, flags=re.S)
+open('EXPERIMENTS.md','w').write(doc)
+print("EXPERIMENTS.md updated")
+PY
