@@ -23,6 +23,7 @@ import (
 	"github.com/lattice-tools/janus/internal/benchdata"
 	"github.com/lattice-tools/janus/internal/bounds"
 	"github.com/lattice-tools/janus/internal/minimize"
+	"github.com/lattice-tools/janus/internal/report"
 )
 
 func main() {
@@ -55,6 +56,7 @@ func main() {
 	fmt.Printf("%-10s %3s %3s %2s | %4s %4s %4s | %-28s | %s\n",
 		"instance", "in", "pi", "d", "lb", "oub", "nub", "measured (method sol sec)", "paper (lb oub nub | sols)")
 	var sumSize, sumPaper, n int
+	var added, rebuilt, iters int64
 	for _, inst := range benchdata.TableII() {
 		if re != nil && !re.MatchString(inst.Name) {
 			continue
@@ -82,6 +84,9 @@ func main() {
 				sumSize += r.Size
 				sumPaper += parseSize(inst.Paper["janus"])
 				n++
+				added += r.ClausesAdded
+				rebuilt += r.ClausesRebuilt
+				iters += r.CegarIters
 				if nub > r.NUB {
 					nub = r.NUB // DS may improve on the constructive bounds
 				}
@@ -116,6 +121,12 @@ func main() {
 	if n > 0 {
 		fmt.Printf("\nJANUS average switches: measured %.1f vs paper %.1f over %d instances\n",
 			float64(sumSize)/float64(n), float64(sumPaper)/float64(n), n)
+		ms := janus.MemoSnapshot()
+		fmt.Printf("SAT effort: %s\nmemo hits/misses: %s\n",
+			report.Effort(added, rebuilt, iters),
+			report.MemoLine("paths", ms.PathHits, ms.PathMisses,
+				"tables", ms.TableHits, ms.TableMisses,
+				"covers", ms.CoverHits, ms.CoverMisses))
 	}
 }
 

@@ -33,7 +33,7 @@ func TestDSBoundVerified(t *testing.T) {
 			continue
 		}
 		dual := minimize.Auto(isop.Dual())
-		lm := 0
+		var lm lmStats
 		ds := dsBound(isop, dual, Options{}, &lm)
 		if ds == nil {
 			continue // partition degenerated; allowed
@@ -53,7 +53,7 @@ func TestDSImprovesFig4(t *testing.T) {
 		cube.FromLiterals([]int{0, 1, 4}, nil),
 		cube.FromLiterals(nil, []int{0, 1, 4}))
 	isop, dual := minimize.AutoDual(f)
-	lm := 0
+	var lm lmStats
 	ds := dsBound(isop, dual, Options{}, &lm)
 	if ds == nil {
 		t.Fatal("DS produced nothing for fig4")
@@ -99,7 +99,7 @@ func TestFixedRowSearch(t *testing.T) {
 	f := cube.NewCover(3, cube.FromLiterals([]int{0, 1, 2}, nil)) // abc
 	isop, dual := minimize.AutoDual(f)
 	p := &part{isop: isop, dual: dual}
-	lm := 0
+	var lm lmStats
 	// abc needs 3 switches in a column; at 3 rows the minimum k is 1.
 	sol := fixedRowSearch(p, 3, 1, 4, Options{}, &lm)
 	if sol == nil || sol.Grid.N != 1 {
@@ -123,7 +123,7 @@ func TestTrimCols(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := &part{isop: isop, dual: dual, sol: r.Assignment}
-	lm := 0
+	var lm lmStats
 	// a fits a 2×1 lattice (column of a's); trimming from width 3 at 2
 	// rows must reach width 1.
 	sol := trimCols(p, 2, 3, Options{}, &lm)

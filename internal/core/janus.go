@@ -96,6 +96,15 @@ type Result struct {
 	MatchedLB bool
 	// LMSolved counts LM SAT problems decided during the search.
 	LMSolved int
+	// ClausesAdded totals the CNF clauses actually handed to SAT solvers
+	// across every LM solve of the search (including DS sub-syntheses).
+	ClausesAdded int64
+	// ClausesRebuilt is the clause volume a rebuild-per-iteration CEGAR
+	// engine would have pushed; the gap to ClausesAdded is the saving of
+	// the incremental engine (the two are equal for monolithic solves).
+	ClausesRebuilt int64
+	// CegarIters totals CEGAR refinement iterations across LM solves.
+	CegarIters int64
 	// Elapsed is the wall-clock synthesis time.
 	Elapsed time.Duration
 	// ISOP and DualISOP are the minimized forms the search operated on.
@@ -153,6 +162,7 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 	incumbent := best.Assignment
 	res.UBMethod = best.Name
 
+	var st lmStats
 	if !opt.DisableDS && !opt.DisableImprovedBounds &&
 		len(isop.Cubes) >= opt.dsMinProducts() && !opt.expired() {
 		// DS spends SAT effort on an upper bound only; under a wall-clock
@@ -164,7 +174,7 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 				dsOpt.Deadline = dsCap
 			}
 		}
-		if ds := dsBound(isop, dual, dsOpt, &res.LMSolved); ds != nil && ds.Size() < incumbent.Size() {
+		if ds := dsBound(isop, dual, dsOpt, &st); ds != nil && ds.Size() < incumbent.Size() {
 			incumbent = ds
 			res.UBMethod = "DS"
 		}
@@ -184,11 +194,10 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 	for lb < ub && !opt.expired() {
 		mp := (lb + ub) / 2
 		cands := candidates(mp, lb, opt.maxCells())
-		best, solved, err := solveCandidates(isop, dual, cands, opt)
+		best, err := solveCandidates(isop, dual, cands, opt, &st)
 		if err != nil {
 			return res, err
 		}
-		res.LMSolved += solved
 		if best != nil {
 			incumbent = best
 			ub = best.Size()
@@ -197,6 +206,10 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 		}
 	}
 
+	res.LMSolved = st.solved
+	res.ClausesAdded = st.added
+	res.ClausesRebuilt = st.rebuilt
+	res.CegarIters = st.iters
 	res.Assignment = incumbent
 	res.Grid = incumbent.Grid
 	res.Size = incumbent.Size()
@@ -205,29 +218,54 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 	return res, nil
 }
 
+// lmStats accumulates per-LM-solve effort counters across the search:
+// decided problems, clause volumes, and CEGAR iterations. It is threaded
+// by pointer through the search helpers (single-goroutine each; the
+// parallel candidate path aggregates after its WaitGroup).
+type lmStats struct {
+	solved  int
+	added   int64
+	rebuilt int64
+	iters   int64
+}
+
+// note folds one LM solve's counters in.
+func (st *lmStats) note(r encode.Result) {
+	if !r.Structural {
+		st.solved++
+	}
+	st.added += int64(r.AddedClauses)
+	st.rebuilt += int64(r.RebuiltClauses)
+	st.iters += int64(r.CegarIters)
+}
+
+// noteResult folds a sub-synthesis' aggregated counters in.
+func (st *lmStats) noteResult(r Result) {
+	st.solved += r.LMSolved
+	st.added += r.ClausesAdded
+	st.rebuilt += r.ClausesRebuilt
+	st.iters += r.CegarIters
+}
+
 // solveCandidates decides the LM problem for each candidate, sequentially
 // or with opt.Workers goroutines, and returns the best (smallest-area,
-// then earliest) satisfiable assignment, plus the number of LM problems
-// actually solved.
-func solveCandidates(isop, dual cube.Cover, cands []lattice.Grid, opt Options) (*lattice.Assignment, int, error) {
+// then earliest) satisfiable assignment, folding solve effort into st.
+func solveCandidates(isop, dual cube.Cover, cands []lattice.Grid, opt Options, st *lmStats) (*lattice.Assignment, error) {
 	if opt.Workers < 2 || len(cands) < 2 {
-		solved := 0
 		for _, g := range cands {
 			if opt.expired() {
 				break
 			}
 			r, err := encode.SolveLM(isop, dual, g, opt.Encode)
 			if err != nil {
-				return nil, solved, err
+				return nil, err
 			}
-			if !r.Structural {
-				solved++
-			}
+			st.note(r)
 			if r.Status == sat.Sat {
-				return r.Assignment, solved, nil
+				return r.Assignment, nil
 			}
 		}
-		return nil, solved, nil
+		return nil, nil
 	}
 
 	results := make([]encode.Result, len(cands))
@@ -245,22 +283,19 @@ func solveCandidates(isop, dual cube.Cover, cands []lattice.Grid, opt Options) (
 	}
 	wg.Wait()
 
-	solved := 0
 	var best *lattice.Assignment
 	for i, r := range results {
 		if errs[i] != nil {
-			return nil, solved, errs[i]
+			return nil, errs[i]
 		}
-		if !r.Structural {
-			solved++
-		}
+		st.note(r)
 		if r.Status == sat.Sat {
 			if best == nil || r.Assignment.Size() < best.Size() {
 				best = r.Assignment
 			}
 		}
 	}
-	return best, solved, nil
+	return best, nil
 }
 
 // candidates returns the maximal lattice shapes of area at most size: one
@@ -314,7 +349,7 @@ func subOptions(opt Options) Options {
 // III-B): split the products into two balanced halves, synthesize each
 // with JANUS, pack the two solutions side by side with one isolation
 // column, and then iterate the row-reduction exploration.
-func dsBound(isop, dual cube.Cover, opt Options, lmCount *int) *lattice.Assignment {
+func dsBound(isop, dual cube.Cover, opt Options, st *lmStats) *lattice.Assignment {
 	g, h := partitionProducts(isop)
 	if len(g.Cubes) == 0 || len(h.Cubes) == 0 {
 		return nil
@@ -327,14 +362,14 @@ func dsBound(isop, dual cube.Cover, opt Options, lmCount *int) *lattice.Assignme
 		if err != nil || r.Assignment == nil {
 			return nil
 		}
-		*lmCount += r.LMSolved
+		st.noteResult(r)
 		parts[i] = &part{isop: cov, dual: covDual, sol: r.Assignment}
 	}
 	packed := packParts(parts)
 	if packed == nil || !packed.Realizes(isop) {
 		return nil
 	}
-	reduced := reduceRows(parts, sub, lmCount)
+	reduced := reduceRows(parts, sub, st)
 	if reduced != nil && reduced.Size() < packed.Size() && reduced.Realizes(isop) {
 		return reduced
 	}
@@ -434,7 +469,7 @@ func packedSize(parts []*part) (rows, cols int) {
 // fixedRowSearch looks for the smallest column count in [lo, hi] such
 // that the target fits a rows×k lattice; scanDown controls the paper's
 // two scanning directions. It returns nil when nothing in range fits.
-func fixedRowSearch(p *part, rows, lo, hi int, opt Options, lmCount *int) *lattice.Assignment {
+func fixedRowSearch(p *part, rows, lo, hi int, opt Options, st *lmStats) *lattice.Assignment {
 	if lo < 1 {
 		lo = 1
 	}
@@ -447,9 +482,7 @@ func fixedRowSearch(p *part, rows, lo, hi int, opt Options, lmCount *int) *latti
 		if err != nil {
 			return best
 		}
-		if !r.Structural {
-			*lmCount++
-		}
+		st.note(r)
 		if r.Status == sat.Sat {
 			best = r.Assignment
 			break
@@ -464,7 +497,7 @@ func fixedRowSearch(p *part, rows, lo, hi int, opt Options, lmCount *int) *latti
 // shorter parts shrink their widths at the new height, accepting the new
 // packing when it reduces the total size. Returns the best packing found,
 // or nil when no improvement was possible.
-func reduceRows(parts []*part, opt Options, lmCount *int) *lattice.Assignment {
+func reduceRows(parts []*part, opt Options, st *lmStats) *lattice.Assignment {
 	cur := make([]*part, len(parts))
 	copy(cur, parts)
 	bcRows, bcCols := packedSize(cur)
@@ -486,7 +519,7 @@ func reduceRows(parts []*part, opt Options, lmCount *int) *lattice.Assignment {
 				if budgetCols < n {
 					budgetCols = n
 				}
-				sol := fixedRowSearch(np, br-1, n, budgetCols, opt, lmCount)
+				sol := fixedRowSearch(np, br-1, n, budgetCols, opt, st)
 				if sol == nil {
 					ok = false
 				} else {
@@ -494,7 +527,7 @@ func reduceRows(parts []*part, opt Options, lmCount *int) *lattice.Assignment {
 				}
 			case m > 1 && m < br-1 && n > 1:
 				// Extra height available: try to shrink the width.
-				if sol := trimCols(np, br-1, n-1, opt, lmCount); sol != nil {
+				if sol := trimCols(np, br-1, n-1, opt, st); sol != nil {
 					np.sol = sol
 				}
 			}
@@ -530,7 +563,7 @@ func colsExcept(parts []*part, skip int) int {
 
 // trimCols finds the narrowest rows×k lattice with k ≤ hi that still
 // realizes the part, scanning downward as the paper describes.
-func trimCols(p *part, rows, hi int, opt Options, lmCount *int) *lattice.Assignment {
+func trimCols(p *part, rows, hi int, opt Options, st *lmStats) *lattice.Assignment {
 	var best *lattice.Assignment
 	for k := hi; k >= 1; k-- {
 		if rows*k > opt.maxCells() {
@@ -543,9 +576,7 @@ func trimCols(p *part, rows, hi int, opt Options, lmCount *int) *lattice.Assignm
 		if err != nil {
 			return best
 		}
-		if !r.Structural {
-			*lmCount++
-		}
+		st.note(r)
 		if r.Status != sat.Sat {
 			break
 		}

@@ -66,7 +66,12 @@ type MultiResult struct {
 	Lattice  *MultiLattice
 	Parts    []Result
 	LMSolved int
-	Elapsed  time.Duration
+	// ClausesAdded / ClausesRebuilt / CegarIters aggregate the
+	// incremental-solving counters over every LM call, as in Result.
+	ClausesAdded   int64
+	ClausesRebuilt int64
+	CegarIters     int64
+	Elapsed        time.Duration
 }
 
 // Sol formats the lattice shape like the paper's Table III ("3x135").
@@ -83,6 +88,7 @@ func SynthesizeMulti(fns []cube.Cover, opt Options, reduce bool) (*MultiResult, 
 		return nil, errors.New("core: no functions given")
 	}
 	mr := &MultiResult{}
+	var st lmStats
 	parts := make([]*part, 0, len(fns))
 	targets := make([]cube.Cover, 0, len(fns))
 	for _, f := range fns {
@@ -91,7 +97,7 @@ func SynthesizeMulti(fns []cube.Cover, opt Options, reduce bool) (*MultiResult, 
 			return nil, err
 		}
 		mr.Parts = append(mr.Parts, r)
-		mr.LMSolved += r.LMSolved
+		st.noteResult(r)
 		parts = append(parts, &part{isop: r.ISOP, dual: r.DualISOP, sol: r.Assignment})
 		targets = append(targets, r.ISOP)
 	}
@@ -101,8 +107,12 @@ func SynthesizeMulti(fns []cube.Cover, opt Options, reduce bool) (*MultiResult, 
 			// The row-reduction phase gets its own budget window.
 			sub.Deadline = time.Now().Add(sub.Budget)
 		}
-		parts = reduceMultiRows(parts, sub, &mr.LMSolved)
+		parts = reduceMultiRows(parts, sub, &st)
 	}
+	mr.LMSolved = st.solved
+	mr.ClausesAdded = st.added
+	mr.ClausesRebuilt = st.rebuilt
+	mr.CegarIters = st.iters
 	ml := packMulti(parts, targets)
 	if err := ml.Verify(); err != nil {
 		return nil, err
@@ -129,7 +139,7 @@ func packMulti(parts []*part, targets []cube.Cover) *MultiLattice {
 
 // reduceMultiRows lowers the overall row count as in reduceRows but
 // returns the updated parts (so region metadata can be rebuilt).
-func reduceMultiRows(parts []*part, opt Options, lmCount *int) []*part {
+func reduceMultiRows(parts []*part, opt Options, st *lmStats) []*part {
 	cur := parts
 	bcRows, bcCols := packedSize(cur)
 	bc := bcRows * bcCols
@@ -143,14 +153,14 @@ func reduceMultiRows(parts []*part, opt Options, lmCount *int) []*part {
 			m, n := p.sol.Grid.M, p.sol.Grid.N
 			switch {
 			case m >= br:
-				sol := fixedRowSearch(np, br-1, n, n+bc, opt, lmCount)
+				sol := fixedRowSearch(np, br-1, n, n+bc, opt, st)
 				if sol == nil {
 					ok = false
 				} else {
 					np.sol = sol
 				}
 			case m > 1 && m < br-1 && n > 1:
-				if sol := trimCols(np, br-1, n-1, opt, lmCount); sol != nil {
+				if sol := trimCols(np, br-1, n-1, opt, st); sol != nil {
 					np.sol = sol
 				}
 			}

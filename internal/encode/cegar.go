@@ -6,6 +6,7 @@ import (
 
 	"github.com/lattice-tools/janus/internal/cube"
 	"github.com/lattice-tools/janus/internal/lattice"
+	"github.com/lattice-tools/janus/internal/memo"
 	"github.com/lattice-tools/janus/internal/sat"
 	"github.com/lattice-tools/janus/internal/truth"
 )
@@ -84,7 +85,7 @@ func SolveLMCegar(target, targetDual cube.Cover, g lattice.Grid, opt Options) (R
 		return Result{Status: sat.Unknown}, nil
 	}
 
-	targetTab := truth.FromCover(target)
+	targetTab := memo.TableOf(target)
 	var deadline time.Time
 	if opt.Limits.Timeout > 0 {
 		deadline = time.Now().Add(opt.Limits.Timeout)
@@ -114,20 +115,31 @@ func SolveLMCegar(target, targetDual cube.Cover, g lattice.Grid, opt Options) (R
 // cegarOne runs the refinement loop for one orientation. enc is the cover
 // being encoded (f or f^D); target/targetTab always describe f, which the
 // decoded assignment must implement.
+//
+// The loop is incremental: the mapping/exactly-one skeleton is encoded
+// once into a single persistent solver, and each counterexample appends
+// only the new entry's Y-variables, link implications, and path clauses
+// via Builder.FlushTo. The solver keeps its learnt clauses, variable
+// activities, and saved phases between refinements, so later iterations
+// start from everything the search already proved about the mapping
+// variables instead of from scratch.
 func cegarOne(enc, target cube.Cover, targetTab *truth.Table, g lattice.Grid,
 	dual bool, opt Options, deadline time.Time) (Result, error) {
-	encTab := truth.FromCover(enc)
+	encTab := memo.TableOf(enc)
 
-	// Seed: one on-entry and one off-entry of the encoded function give
-	// the abstraction immediate traction.
-	var entries []uint64
+	p := newProblem(enc, g, dual, opt)
+	s := sat.New(p.b.NumVars())
+
+	res := Result{UsedDual: dual}
 	seen := map[uint64]bool{}
 	addEntry := func(t uint64) {
 		if !seen[t] {
 			seen[t] = true
-			entries = append(entries, t)
+			p.addEntry(t, encTab.Get(t), opt)
 		}
 	}
+	// Seed: one on-entry and one off-entry of the encoded function give
+	// the abstraction immediate traction.
 	var sawOn, sawOff bool
 	for t := uint64(0); t < encTab.Size() && (!sawOn || !sawOff); t++ {
 		if encTab.Get(t) && !sawOn {
@@ -140,12 +152,19 @@ func cegarOne(enc, target cube.Cover, targetTab *truth.Table, g lattice.Grid,
 		}
 	}
 
-	var res Result
-	for iter := 0; ; iter++ {
-		p := build(enc, g, dual, opt, entries)
-		s := p.b.SolverFrom()
-		p.b.ReleaseClauses()
+	for {
+		// Hand only the new skeleton/entry clauses to the solver; the
+		// accumulated formula stays attached with its learnt clauses.
+		res.AddedClauses += p.b.FlushTo(s)
+		res.RebuiltClauses += p.b.NumClauses()
+		res.CegarIters++
+
 		lims := opt.Limits
+		if lims.MaxConflicts > 0 {
+			// The per-call conflict budget is relative to the conflicts the
+			// persistent solver has already spent in earlier iterations.
+			lims.MaxConflicts += s.Stats().Conflicts
+		}
 		if !deadline.IsZero() {
 			remain := time.Until(deadline)
 			if remain <= 0 {
@@ -155,13 +174,10 @@ func cegarOne(enc, target cube.Cover, targetTab *truth.Table, g lattice.Grid,
 			lims.Timeout = remain
 		}
 		st := s.Solve(lims)
-		res = Result{
-			Status:     st,
-			UsedDual:   dual,
-			Vars:       p.b.NumVars(),
-			Clauses:    p.b.NumClauses(),
-			SolverStat: s.Stats(),
-		}
+		res.Status = st
+		res.Vars = p.b.NumVars()
+		res.Clauses = p.b.NumClauses()
+		res.SolverStat = s.Stats()
 		if st != sat.Sat {
 			return res, nil // Unsat is definitive (relaxation); Unknown is a budget
 		}

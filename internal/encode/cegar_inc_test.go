@@ -1,0 +1,101 @@
+package encode
+
+import (
+	"testing"
+
+	"github.com/lattice-tools/janus/internal/benchdata"
+	"github.com/lattice-tools/janus/internal/lattice"
+	"github.com/lattice-tools/janus/internal/memo"
+	"github.com/lattice-tools/janus/internal/minimize"
+	"github.com/lattice-tools/janus/internal/sat"
+	"github.com/lattice-tools/janus/internal/truth"
+)
+
+// TestCegarIncrementalCounters checks the engine's headline property on a
+// multi-counterexample instance: the clause volume actually handed to the
+// persistent solver (AddedClauses) equals the final formula size, far
+// below what rebuilding the solver each iteration would have re-added
+// (RebuiltClauses).
+func TestCegarIncrementalCounters(t *testing.T) {
+	f, _ := benchdata.Lookup("dc1_02").Function()
+	isop, dual := minimize.AutoDual(f)
+	r, err := SolveLMCegar(isop, dual, lattice.Grid{M: 4, N: 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != sat.Sat {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if r.CegarIters < 5 {
+		t.Fatalf("want a multi-counterexample run (>= 5 iterations), got %d", r.CegarIters)
+	}
+	if r.AddedClauses != r.Clauses {
+		t.Fatalf("incremental engine must add each clause once: added %d, formula has %d",
+			r.AddedClauses, r.Clauses)
+	}
+	if r.RebuiltClauses <= r.AddedClauses {
+		t.Fatalf("rebuild volume (%d) must exceed incremental volume (%d) over %d iterations",
+			r.RebuiltClauses, r.AddedClauses, r.CegarIters)
+	}
+}
+
+// TestCegarTablesBuiltOnce asserts the memoization contract of the loop:
+// one truth-table build per distinct cover for a whole multi-iteration
+// CEGAR solve (target plus at most one encoded cover per orientation),
+// and zero builds on a repeat solve of the same instance.
+func TestCegarTablesBuiltOnce(t *testing.T) {
+	memo.Reset()
+	f, _ := benchdata.Lookup("dc1_02").Function()
+	isop, dual := minimize.AutoDual(f)
+	g := lattice.Grid{M: 4, N: 3}
+
+	before := truth.FromCoverCalls()
+	r, err := SolveLMCegar(isop, dual, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := truth.FromCoverCalls() - before
+	if built > 3 {
+		t.Fatalf("%d truth tables built across %d CEGAR iterations, want at most 3 (target + per-orientation cover)",
+			built, r.CegarIters)
+	}
+
+	before = truth.FromCoverCalls()
+	if _, err := SolveLMCegar(isop, dual, g, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if d := truth.FromCoverCalls() - before; d != 0 {
+		t.Fatalf("repeat solve rebuilt %d truth tables, want 0 (memo hit)", d)
+	}
+	if s := memo.Snapshot(); s.TableHits == 0 || s.PathHits == 0 {
+		t.Fatalf("expected table and path cache hits, got %+v", s)
+	}
+}
+
+// TestCegarConflictBudgetPerCall pins the budget semantics of the
+// persistent solver: MaxConflicts bounds each refinement's SAT call, not
+// the cumulative conflicts of the whole loop, so a multi-iteration
+// instance must still converge under a budget smaller than its total
+// conflict count.
+func TestCegarConflictBudgetPerCall(t *testing.T) {
+	f, _ := benchdata.Lookup("dc1_02").Function()
+	isop, dual := minimize.AutoDual(f)
+	g := lattice.Grid{M: 4, N: 3}
+	full, err := SolveLMCegar(isop, dual, g, Options{})
+	if err != nil || full.Status != sat.Sat {
+		t.Fatalf("unbudgeted run: %v %v", full.Status, err)
+	}
+	if full.SolverStat.Conflicts < 10 {
+		t.Skip("instance too easy to exercise the budget")
+	}
+	// A per-call budget of ~half the total conflicts must still succeed;
+	// a cumulative interpretation would return Unknown.
+	budget := full.SolverStat.Conflicts/2 + 5
+	r, err := SolveLMCegar(isop, dual, g, Options{Limits: sat.Limits{MaxConflicts: budget}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != sat.Sat {
+		t.Fatalf("per-call budget %d: status %v, want SAT", budget, r.Status)
+	}
+}

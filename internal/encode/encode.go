@@ -23,8 +23,8 @@ import (
 	"github.com/lattice-tools/janus/internal/cnf"
 	"github.com/lattice-tools/janus/internal/cube"
 	"github.com/lattice-tools/janus/internal/lattice"
+	"github.com/lattice-tools/janus/internal/memo"
 	"github.com/lattice-tools/janus/internal/sat"
-	"github.com/lattice-tools/janus/internal/truth"
 )
 
 // Mode selects which of the two LM formulations to use.
@@ -89,6 +89,22 @@ type Result struct {
 	Clauses    int
 	SolverStat sat.Stats
 	Structural bool // true when the structural check already refuted
+
+	// CegarIters counts CEGAR refinement iterations (SAT calls); zero for
+	// the monolithic engine.
+	CegarIters int
+	// AddedClauses counts the clauses actually handed to SAT solvers over
+	// the whole solve. For the incremental CEGAR engine each clause is
+	// added once to one persistent solver, so this stays close to Clauses;
+	// a rebuild-per-iteration engine would re-add the whole formula every
+	// round (see RebuiltClauses).
+	AddedClauses int
+	// RebuiltClauses is the clause volume a rebuild-per-iteration CEGAR
+	// engine would have added: the sum over iterations of the formula size
+	// at that iteration. AddedClauses/RebuiltClauses is the incremental
+	// saving; the two are equal for single-iteration and monolithic
+	// solves.
+	RebuiltClauses int
 }
 
 // MaxInputs bounds the target function size for the truth-table-based
@@ -169,24 +185,20 @@ type problem struct {
 	b       *cnf.Builder
 	g       lattice.Grid
 	tl      []targetLit
-	mapVars [][]sat.Lit // [cell][tlIdx]
+	paths   []lattice.Path // memo-shared; read-only
+	mapVars [][]sat.Lit    // [cell][tlIdx]
 	dual    bool
 }
 
-// build constructs the CNF for realizing target on the grid's primal
-// (dual=false) or dual (dual=true) path structure. entries selects the
-// truth-table points to constrain; nil means all 2^N of them (the
-// monolithic formulation).
-func build(target cube.Cover, g lattice.Grid, dual bool, opt Options, entries []uint64) *problem {
+// newProblem builds the entry-independent skeleton of the LM encoding:
+// mapping variables with exactly-one per cell, the degree and
+// strict-product constraints, and symmetry breaking. Truth-table entries
+// are constrained separately via addEntry, so the CEGAR engine can grow
+// the formula incrementally on one persistent solver.
+func newProblem(target cube.Cover, g lattice.Grid, dual bool, opt Options) *problem {
 	p := &problem{b: cnf.NewBuilder(), g: g, tl: buildTL(target, opt.FullTL), dual: dual}
+	p.paths = memo.Paths(g, dual)
 	cells := g.Cells()
-
-	var paths []lattice.Path
-	if dual {
-		paths = g.DualPaths()
-	} else {
-		paths = g.Paths()
-	}
 
 	// Mapping variables with exactly-one per cell.
 	p.mapVars = make([][]sat.Lit, cells)
@@ -199,65 +211,80 @@ func build(target cube.Cover, g lattice.Grid, dual bool, opt Options, entries []
 		p.b.ExactlyOne(row...)
 	}
 
-	tab := truth.FromCover(target)
+	if !opt.DisableDegree {
+		p.addDegreeConstraints(target, p.paths, opt)
+	}
+	if opt.StrictProducts {
+		p.addStrictProducts(target, p.paths)
+	}
+	if !opt.DisableSymmetry {
+		p.addSymmetryBreak()
+	}
+	return p
+}
+
+// addEntry constrains one truth-table point: per-entry switch-state
+// variables linked to the mapping choice, then the off-entry path clauses
+// (Fig. 3(a)) or the on-entry path disjunction plus connectivity facts
+// (Fig. 3(b)).
+func (p *problem) addEntry(t uint64, val bool, opt Options) {
+	cells := p.g.Cells()
+	// Per-entry switch-state variables Y[cell].
+	y := make([]sat.Lit, cells)
+	for cell := 0; cell < cells; cell++ {
+		y[cell] = p.b.NewVar(fmt.Sprintf("y_%d_%d", cell, t))
+	}
+	// Link mapping choices to switch states.
+	for cell := 0; cell < cells; cell++ {
+		for j, tl := range p.tl {
+			if tl.Eval(t) {
+				p.b.AddImply(p.mapVars[cell][j], y[cell])
+			} else {
+				p.b.AddImply(p.mapVars[cell][j], y[cell].Not())
+			}
+		}
+	}
+	if !val {
+		// Every path must contain an off switch (Fig. 3(a)).
+		for _, path := range p.paths {
+			clause := make([]sat.Lit, len(path.Cells))
+			for i, cell := range path.Cells {
+				clause[i] = y[cell].Not()
+			}
+			p.b.Add(clause...)
+		}
+		return
+	}
+	// On entry (Fig. 3(b)): some path fully on.
+	or := make([]sat.Lit, len(p.paths))
+	for pi, path := range p.paths {
+		a := p.b.NewVar(fmt.Sprintf("a_%d_%d", pi, t))
+		for _, cell := range path.Cells {
+			p.b.AddImply(a, y[cell])
+		}
+		or[pi] = a
+	}
+	p.b.Add(or...)
+	if !opt.DisableFacts {
+		p.addFacts(y, t)
+	}
+}
+
+// build constructs the CNF for realizing target on the grid's primal
+// (dual=false) or dual (dual=true) path structure. entries selects the
+// truth-table points to constrain; nil means all 2^N of them (the
+// monolithic formulation).
+func build(target cube.Cover, g lattice.Grid, dual bool, opt Options, entries []uint64) *problem {
+	p := newProblem(target, g, dual, opt)
+	tab := memo.TableOf(target)
 	if entries == nil {
 		entries = make([]uint64, tab.Size())
 		for t := range entries {
 			entries[t] = uint64(t)
 		}
 	}
-
 	for _, t := range entries {
-		val := tab.Get(t)
-		// Per-entry switch-state variables Y[cell].
-		y := make([]sat.Lit, cells)
-		for cell := 0; cell < cells; cell++ {
-			y[cell] = p.b.NewVar(fmt.Sprintf("y_%d_%d", cell, t))
-		}
-		// Link mapping choices to switch states.
-		for cell := 0; cell < cells; cell++ {
-			for j, tl := range p.tl {
-				if tl.Eval(t) {
-					p.b.AddImply(p.mapVars[cell][j], y[cell])
-				} else {
-					p.b.AddImply(p.mapVars[cell][j], y[cell].Not())
-				}
-			}
-		}
-		if !val {
-			// Every path must contain an off switch (Fig. 3(a)).
-			for _, path := range paths {
-				clause := make([]sat.Lit, len(path.Cells))
-				for i, cell := range path.Cells {
-					clause[i] = y[cell].Not()
-				}
-				p.b.Add(clause...)
-			}
-			continue
-		}
-		// On entry (Fig. 3(b)): some path fully on.
-		or := make([]sat.Lit, len(paths))
-		for pi, path := range paths {
-			a := p.b.NewVar(fmt.Sprintf("a_%d_%d", pi, t))
-			for _, cell := range path.Cells {
-				p.b.AddImply(a, y[cell])
-			}
-			or[pi] = a
-		}
-		p.b.Add(or...)
-		if !opt.DisableFacts {
-			p.addFacts(y, t)
-		}
-	}
-
-	if !opt.DisableDegree {
-		p.addDegreeConstraints(target, paths, opt)
-	}
-	if opt.StrictProducts {
-		p.addStrictProducts(target, paths)
-	}
-	if !opt.DisableSymmetry {
-		p.addSymmetryBreak()
+		p.addEntry(t, tab.Get(t), opt)
 	}
 	return p
 }
@@ -601,11 +628,13 @@ func SolveLM(target, targetDual cube.Cover, g lattice.Grid, opt Options) (Result
 		st := s.Solve(opt.Limits)
 		chosen = p
 		res = Result{
-			Status:     st,
-			UsedDual:   p.dual,
-			Vars:       p.b.NumVars(),
-			Clauses:    p.b.NumClauses(),
-			SolverStat: s.Stats(),
+			Status:         st,
+			UsedDual:       p.dual,
+			Vars:           p.b.NumVars(),
+			Clauses:        p.b.NumClauses(),
+			SolverStat:     s.Stats(),
+			AddedClauses:   p.b.NumClauses(),
+			RebuiltClauses: p.b.NumClauses(),
 		}
 		if st == sat.Sat {
 			break
@@ -623,9 +652,11 @@ func SolveLM(target, targetDual cube.Cover, g lattice.Grid, opt Options) (Result
 	// Both formulations decode to an assignment that must implement f on
 	// the top–bottom structure (the dual decode swaps constants, which by
 	// the duality theorem converts an f^D left–right realization into an
-	// f top–bottom realization). Verify against the physical ground truth.
+	// f top–bottom realization). Verify against the physical ground truth
+	// (the memo-cached target table: the search verifies against the same
+	// target for every candidate grid).
 	a := chosen.decode(s)
-	if !a.Realizes(target) {
+	if !a.Table(target.N).Equal(memo.TableOf(target)) {
 		return res, fmt.Errorf("encode: model fails verification on %v (dual=%v)", g, chosen.dual)
 	}
 	res.Assignment = a

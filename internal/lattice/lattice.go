@@ -241,6 +241,25 @@ func (g Grid) DualPaths() []Path {
 	return out
 }
 
+// PathsOf unifies Paths and DualPaths behind one orientation flag, the
+// shape every encoding-layer caller wants (and the key the process-wide
+// path cache in internal/memo is indexed by).
+func (g Grid) PathsOf(dual bool) []Path {
+	if dual {
+		return g.DualPaths()
+	}
+	return g.Paths()
+}
+
+// FunctionOf unifies Function and DualFunction behind one orientation
+// flag.
+func (g Grid) FunctionOf(dual bool) cube.Cover {
+	if dual {
+		return g.DualFunction()
+	}
+	return g.Function()
+}
+
 // CountPaths returns the number of products of f_{m×n} without storing
 // them (Table I, top entries).
 func (g Grid) CountPaths() int64 {

@@ -1,0 +1,115 @@
+package memo
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/lattice-tools/janus/internal/cube"
+	"github.com/lattice-tools/janus/internal/lattice"
+	"github.com/lattice-tools/janus/internal/truth"
+)
+
+func TestPathsCached(t *testing.T) {
+	Reset()
+	g := lattice.Grid{M: 3, N: 3}
+	a := Paths(g, false)
+	b := Paths(g, false)
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("path counts differ: %d vs %d", len(a), len(b))
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("second lookup did not hit the cache")
+	}
+	if got := int64(len(a)); g.CountPaths() != got {
+		t.Fatalf("cached enumeration wrong: %d paths", got)
+	}
+	s := Snapshot()
+	if s.PathHits != 1 || s.PathMisses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit 1 miss", s)
+	}
+	// Dual orientation is a distinct key.
+	d := Paths(g, true)
+	if int64(len(d)) != g.CountDualPaths() {
+		t.Fatal("dual enumeration wrong")
+	}
+}
+
+func TestTableOfCanonicalKey(t *testing.T) {
+	Reset()
+	f := cube.NewCover(3,
+		cube.FromLiterals([]int{0, 1}, nil),
+		cube.FromLiterals(nil, []int{2}))
+	perm := cube.Cover{N: 3, Cubes: []cube.Cube{f.Cubes[1], f.Cubes[0]}}
+
+	before := truth.FromCoverCalls()
+	a := TableOf(f)
+	b := TableOf(perm) // same cube set, different order: must hit
+	if truth.FromCoverCalls() != before+1 {
+		t.Fatalf("table built %d times, want 1", truth.FromCoverCalls()-before)
+	}
+	if a != b || !a.Equal(truth.FromCover(f)) {
+		t.Fatal("cached table wrong or not shared")
+	}
+	s := Snapshot()
+	if s.TableHits != 1 || s.TableMisses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestFunctionClonesCubes(t *testing.T) {
+	Reset()
+	g := lattice.Grid{M: 2, N: 2}
+	a := Function(g, false)
+	a.Cubes[0] = cube.Cube{} // mutate the returned copy
+	b := Function(g, false)
+	if b.Cubes[0] == (cube.Cube{}) {
+		t.Fatal("cache returned an aliased cube slice")
+	}
+	if len(b.Cubes) != len(g.Function().Cubes) {
+		t.Fatal("cached cover wrong")
+	}
+}
+
+func TestEviction(t *testing.T) {
+	c := newCache(10)
+	c.put("a", 1, 6)
+	c.put("b", 2, 6) // over budget: evicts a
+	if _, ok := c.get("a"); ok {
+		t.Fatal("a should have been evicted")
+	}
+	if _, ok := c.get("b"); !ok {
+		t.Fatal("b should remain")
+	}
+	// An oversized entry is kept (never wedge empty) until the next put.
+	c.put("huge", 3, 100)
+	if _, ok := c.get("huge"); !ok {
+		t.Fatal("newest entry must survive its own insert")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	Reset()
+	grids := []lattice.Grid{{M: 2, N: 2}, {M: 3, N: 2}, {M: 3, N: 3}, {M: 4, N: 3}}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				g := grids[(w+i)%len(grids)]
+				dual := i%2 == 0
+				ps := Paths(g, dual)
+				if len(ps) == 0 {
+					t.Error("empty path enumeration")
+					return
+				}
+				TableOf(Function(g, dual))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := Snapshot()
+	if s.Hits() == 0 || s.Misses() == 0 {
+		t.Fatalf("expected both hits and misses, got %+v", s)
+	}
+}

@@ -77,3 +77,44 @@ func Gain(baseline, measured int) float64 {
 	}
 	return 100 * float64(baseline-measured) / float64(baseline)
 }
+
+// Count renders a counter compactly: 941, 3.4k, 2.6M.
+func Count(n int64) string {
+	switch {
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// Effort formats the incremental solving counters for footers and logs:
+// the clause volume actually handed to SAT solvers, the volume a
+// rebuild-per-iteration engine would have pushed, and the CEGAR
+// iteration count. A rebuilt/added ratio above 1 is the incremental
+// engine's saving.
+func Effort(added, rebuilt, iters int64) string {
+	s := fmt.Sprintf("clauses %s added", Count(added))
+	if rebuilt > added && added > 0 {
+		s += fmt.Sprintf(" (%s if rebuilt, %.1fx)", Count(rebuilt), float64(rebuilt)/float64(added))
+	}
+	if iters > 0 {
+		s += fmt.Sprintf(", %d CEGAR iters", iters)
+	}
+	return s
+}
+
+// MemoLine formats cache hit/miss pairs ("paths 5/2 tables 40/3 ..."),
+// as hits/misses per cache; label/value pairs keep it layout-free.
+func MemoLine(pairs ...any) string {
+	var sb strings.Builder
+	for i := 0; i+2 < len(pairs); i += 3 {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%v %v/%v", pairs[i], pairs[i+1], pairs[i+2])
+	}
+	return sb.String()
+}

@@ -43,3 +43,35 @@ func TestGain(t *testing.T) {
 		t.Fatal("zero baseline must give 0")
 	}
 }
+
+func TestCount(t *testing.T) {
+	for _, c := range []struct {
+		n    int64
+		want string
+	}{{941, "941"}, {3412, "3.4k"}, {2_600_000, "2.6M"}, {0, "0"}} {
+		if got := Count(c.n); got != c.want {
+			t.Errorf("Count(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestEffort(t *testing.T) {
+	s := Effort(3393, 26436, 12)
+	for _, sub := range []string{"3.4k added", "26.4k if rebuilt", "7.8x", "12 CEGAR iters"} {
+		if !strings.Contains(s, sub) {
+			t.Errorf("Effort missing %q in %q", sub, s)
+		}
+	}
+	// Monolithic solves have added == rebuilt and no iterations: no ratio,
+	// no iteration clause.
+	if s := Effort(500, 500, 0); s != "clauses 500 added" {
+		t.Errorf("monolithic Effort = %q", s)
+	}
+}
+
+func TestMemoLine(t *testing.T) {
+	got := MemoLine("paths", 5, 2, "tables", 40, 3)
+	if got != "paths 5/2 tables 40/3" {
+		t.Errorf("MemoLine = %q", got)
+	}
+}

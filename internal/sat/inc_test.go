@@ -1,0 +1,155 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randClause draws a random 3-clause over nVars variables with distinct
+// variables.
+func randClause(rng *rand.Rand, nVars int) []Lit {
+	vs := rng.Perm(nVars)[:3]
+	c := make([]Lit, 3)
+	for i, v := range vs {
+		c[i] = MkLit(v, rng.Intn(2) == 0)
+	}
+	return c
+}
+
+// modelSatisfies checks a model against a clause set.
+func modelSatisfies(model []bool, clauses [][]Lit) bool {
+	for _, c := range clauses {
+		ok := false
+		for _, l := range c {
+			if model[l.Var()] != l.IsNeg() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIncrementalMatchesFresh is the soundness property behind the CEGAR
+// engine's persistent solver: interleaving Solve and AddClause must agree
+// with a from-scratch solver on every prefix of the clause sequence,
+// including the transition from Sat to Unsat. 200 random 3-SAT instances
+// around the phase transition give plenty of both outcomes.
+func TestIncrementalMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for inst := 0; inst < 200; inst++ {
+		nVars := 6 + rng.Intn(5)
+		nClauses := int(float64(nVars)*4.3) + rng.Intn(8)
+		clauses := make([][]Lit, nClauses)
+		for i := range clauses {
+			clauses[i] = randClause(rng, nVars)
+		}
+
+		inc := New(nVars)
+		added := 0
+		sawSat, sawUnsatAfterSat := false, false
+		for added < nClauses {
+			// Add a random-sized chunk, then solve both ways.
+			chunk := 1 + rng.Intn(5)
+			for i := 0; i < chunk && added < nClauses; i++ {
+				inc.AddClause(clauses[added]...)
+				added++
+			}
+			got := inc.Solve(Limits{})
+
+			fresh := New(nVars)
+			for _, c := range clauses[:added] {
+				fresh.AddClause(c...)
+			}
+			want := fresh.Solve(Limits{})
+
+			if got != want {
+				t.Fatalf("inst %d after %d clauses: incremental=%v fresh=%v",
+					inst, added, got, want)
+			}
+			switch got {
+			case Sat:
+				sawSat = true
+				if m := inc.ModelSlice(); !modelSatisfies(m, clauses[:added]) {
+					t.Fatalf("inst %d after %d clauses: incremental model invalid", inst, added)
+				}
+			case Unsat:
+				if sawSat {
+					sawUnsatAfterSat = true
+				}
+				// Once Unsat the solver must stay Unsat and refuse clauses.
+				if err := inc.AddClause(clauses[0]...); err != ErrAddAfterUnsat {
+					t.Fatalf("inst %d: AddClause after Unsat: err=%v", inst, err)
+				}
+				added = nClauses // next instance
+			}
+			_ = sawUnsatAfterSat
+		}
+	}
+}
+
+// TestUnsatAfterSat pins the exact transition the CEGAR loop relies on:
+// a satisfiable formula strengthened clause by clause until refutation.
+func TestUnsatAfterSat(t *testing.T) {
+	s := New(2)
+	x, y := MkLit(0, false), MkLit(1, false)
+	s.AddClause(x, y)
+	if st := s.Solve(Limits{}); st != Sat {
+		t.Fatalf("step 1: %v", st)
+	}
+	s.AddClause(x.Not())
+	if st := s.Solve(Limits{}); st != Sat {
+		t.Fatalf("step 2: %v", st)
+	}
+	if s.Model(1) != true {
+		t.Fatal("step 2: model must set y")
+	}
+	s.AddClause(y.Not())
+	if st := s.Solve(Limits{}); st != Unsat {
+		t.Fatalf("step 3: %v", st)
+	}
+	if st := s.Solve(Limits{}); st != Unsat {
+		t.Fatalf("step 4: Unsat must persist, got %v", st)
+	}
+}
+
+// TestIncrementalKeepsState documents what persists across Solve calls:
+// learnt clauses and search statistics accumulate rather than reset.
+func TestIncrementalKeepsState(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := New(12)
+	for i := 0; i < 40; i++ {
+		s.AddClause(randClause(rng, 12)...)
+	}
+	s.Solve(Limits{})
+	before := s.Stats()
+	for i := 0; i < 10; i++ {
+		s.AddClause(randClause(rng, 12)...)
+	}
+	s.Solve(Limits{})
+	after := s.Stats()
+	if after.Decisions < before.Decisions || after.Conflicts < before.Conflicts {
+		t.Fatalf("stats went backwards: %+v then %+v", before, after)
+	}
+}
+
+// TestEnsureVars checks that variables without clause occurrences still
+// receive model values.
+func TestEnsureVars(t *testing.T) {
+	s := New(1)
+	s.EnsureVars(5)
+	if s.NumVars() != 5 {
+		t.Fatalf("NumVars = %d", s.NumVars())
+	}
+	s.AddClause(MkLit(4, false))
+	if st := s.Solve(Limits{}); st != Sat {
+		t.Fatalf("status %v", st)
+	}
+	_ = s.Model(2) // must not panic
+	if !s.Model(4) {
+		t.Fatal("var 4 must be true")
+	}
+}

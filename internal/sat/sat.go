@@ -185,6 +185,15 @@ func (s *Solver) AddVar() int {
 	return v
 }
 
+// EnsureVars grows the variable space to at least n variables, so that
+// models of incrementally added formulas cover variables that do not yet
+// occur in any clause.
+func (s *Solver) EnsureVars(n int) {
+	if n > s.nVars {
+		s.grow(n)
+	}
+}
+
 func (s *Solver) value(l Lit) lbool { return s.assign[l] }
 
 // ErrAddAfterUnsat is returned when clauses are added to a solver already
@@ -194,13 +203,19 @@ var ErrAddAfterUnsat = errors.New("sat: solver is already unsatisfiable")
 // AddClause adds a clause given as a literal slice. It performs level-0
 // simplifications: duplicate removal, tautology elimination, false-literal
 // stripping. Adding the empty clause makes the solver permanently Unsat.
+//
+// AddClause may be called again after Solve has returned, which makes the
+// solver incremental: the search state is rewound to decision level 0 (so
+// read the model first — it is invalidated), the new clause is attached,
+// and the next Solve re-propagates from scratch while keeping all learnt
+// clauses, VSIDS activity, and saved phases. Learnt clauses remain sound
+// because they are resolvents of the existing clauses, which adding new
+// clauses never invalidates.
 func (s *Solver) AddClause(lits ...Lit) error {
 	if !s.ok {
 		return ErrAddAfterUnsat
 	}
-	if len(s.trailLim) != 0 {
-		panic("sat: AddClause above decision level 0")
-	}
+	s.backtrackTo(0)
 	// Normalize.
 	ls := append([]Lit(nil), lits...)
 	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
@@ -627,10 +642,16 @@ func luby(x int64) int64 {
 
 // Solve runs the CDCL search under the given limits. When the result is
 // Sat, Model returns the satisfying assignment.
+//
+// Solve may be called repeatedly, interleaved with AddClause: each call
+// restarts the search from decision level 0 against the clauses added so
+// far, reusing the learnt-clause database, variable activities, and saved
+// phases accumulated by earlier calls.
 func (s *Solver) Solve(lim Limits) Status {
 	if !s.ok {
 		return Unsat
 	}
+	s.backtrackTo(0)
 	var deadline time.Time
 	if lim.Timeout > 0 {
 		deadline = time.Now().Add(lim.Timeout)

@@ -7,6 +7,7 @@ package truth
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"github.com/lattice-tools/janus/internal/cube"
 )
@@ -34,8 +35,18 @@ func New(n int) *Table {
 	return &Table{N: n, bits: make([]uint64, words)}
 }
 
+// fromCoverCalls counts FromCover invocations process-wide. Building a
+// table is exponential in N, so callers are expected to cache (see
+// internal/memo); the counter lets tests assert that tables really are
+// built once per distinct cover.
+var fromCoverCalls atomic.Int64
+
+// FromCoverCalls returns the number of FromCover evaluations so far.
+func FromCoverCalls() int64 { return fromCoverCalls.Load() }
+
 // FromCover evaluates an SOP cover into a truth table over cover.N vars.
 func FromCover(f cube.Cover) *Table {
+	fromCoverCalls.Add(1)
 	t := New(f.N)
 	for _, c := range f.Cubes {
 		t.orCube(c)

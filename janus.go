@@ -31,6 +31,7 @@ import (
 	"github.com/lattice-tools/janus/internal/cube"
 	"github.com/lattice-tools/janus/internal/encode"
 	"github.com/lattice-tools/janus/internal/lattice"
+	"github.com/lattice-tools/janus/internal/memo"
 	"github.com/lattice-tools/janus/internal/minimize"
 	"github.com/lattice-tools/janus/internal/pla"
 	"github.com/lattice-tools/janus/internal/sat"
@@ -68,7 +69,20 @@ type (
 	BaselineOptions = baselines.Options
 	// UpperBound is a named, verified bound construction.
 	UpperBound = bounds.Bound
+	// MemoStats is a snapshot of the process-wide memoization caches
+	// (path enumerations, truth tables, lattice-function covers).
+	MemoStats = memo.Stats
 )
+
+// MemoSnapshot returns the current hit/miss counters of the shared
+// memoization caches. Repeated solves of similar grids should show the
+// hit counts growing; Sub on two snapshots isolates one run's traffic.
+func MemoSnapshot() MemoStats { return memo.Snapshot() }
+
+// ResetMemo clears the shared caches and their counters. Useful for
+// isolating measurements; concurrent synthesis remains safe during a
+// reset, it only loses cached work.
+func ResetMemo() { memo.Reset() }
 
 // Switch entry kinds for building assignments by hand.
 const (

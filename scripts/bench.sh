@@ -1,0 +1,60 @@
+#!/bin/sh
+# bench.sh — run the paper-facing benchmark set and emit BENCH_janus.json.
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# Runs the encoding ablation, the Table II JANUS subset, and the CEGAR
+# engine bench, and converts `go test -bench` output into a JSON document:
+#
+#   {
+#     "benchmarks": [ {"name": ..., "ns_per_op": ..., "metrics": {...}}, ... ],
+#     "cegar_seed_baseline": { ... }   # pre-incremental engine, for reference
+#   }
+#
+# The cegar_seed_baseline block holds the rebuild-per-iteration engine's
+# wall times measured at the growth seed (commit 857da60), so the
+# incremental engine's speedup stays visible without checking out the old
+# tree: compare them against the BenchmarkCegarEngine ns_per_op values.
+set -eu
+
+out=${1:-BENCH_janus.json}
+cd "$(dirname "$0")/.."
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' \
+  -bench 'BenchmarkAblationEncoding|BenchmarkTableIIJanus|BenchmarkCegarEngine' \
+  -benchtime 3x . | tee "$raw"
+
+awk '
+BEGIN { print "{\n  \"benchmarks\": [" ; first = 1 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)          # strip -GOMAXPROCS
+    ns = ""
+    metrics = ""
+    for (i = 3; i < NF; i += 2) {
+        v = $i; u = $(i + 1)
+        if (u == "ns/op") { ns = v; continue }
+        gsub(/"/, "", u)
+        m = sprintf("\"%s\": %s", u, v)
+        metrics = metrics == "" ? m : metrics ", " m
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"metrics\": {%s}}", name, ns, metrics
+}
+END {
+    print "\n  ],"
+    print "  \"cegar_seed_baseline\": {"
+    print "    \"comment\": \"rebuild-per-iteration CEGAR engine at the growth seed; ns wall per solve\","
+    print "    \"dc1_02-4x3\": {\"ns_per_op\": 92080000, \"iters\": 12, \"clauses_pushed\": 26436},"
+    print "    \"b12_03-4x4\": {\"ns_per_op\": 6590000, \"iters\": 5, \"clauses_pushed\": 8480},"
+    print "    \"mp2d_06-5x4\": {\"ns_per_op\": 53120000, \"iters\": 14, \"clauses_pushed\": 69734},"
+    print "    \"misex1_04-4x4\": {\"ns_per_op\": 31830000, \"clauses_pushed\": 36224}"
+    print "  }"
+    print "}"
+}' "$raw" > "$out"
+
+echo "wrote $out"
