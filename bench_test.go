@@ -336,6 +336,10 @@ func BenchmarkCegarEngine(b *testing.B) {
 			b.ReportMetric(float64(r.CegarIters), "iters")
 			b.ReportMetric(float64(r.AddedClauses), "clauses-added")
 			b.ReportMetric(float64(r.RebuiltClauses), "clauses-rebuilt")
+			// Solver effort of the last solve (lifetime of its persistent
+			// solver), so BENCH_janus.json tracks search-pressure drift.
+			b.ReportMetric(float64(r.SolverStat.Conflicts), "conflicts")
+			b.ReportMetric(float64(r.SolverStat.Propagations), "propagations")
 		})
 	}
 }

@@ -3,11 +3,14 @@
 //
 // Usage:
 //
-//	janus [-o N] [-multi] [-conflicts N] [-timeout D] [-v] [file.pla]
+//	janus [-o N] [-multi] [-cegar] [-conflicts N] [-timeout D] [-v]
+//	      [-trace FILE] [-debug-addr ADDR] [file.pla]
 //
 // Without -multi each selected output is synthesized on its own lattice;
 // with -multi all outputs are packed onto a single lattice with JANUS-MF.
-// Reads standard input when no file is given.
+// Reads standard input when no file is given. -trace writes the synthesis'
+// hierarchical span trace as JSONL (aggregate it with cmd/tracesum);
+// -debug-addr serves /metrics and /debug/pprof while the run lasts.
 package main
 
 import (
@@ -23,10 +26,13 @@ func main() {
 	var (
 		outIdx    = flag.Int("o", -1, "synthesize only this output index (default: all)")
 		multi     = flag.Bool("multi", false, "realize all outputs on a single lattice (JANUS-MF)")
+		cegar     = flag.Bool("cegar", false, "use the CEGAR LM engine")
 		conflicts = flag.Int64("conflicts", 0, "SAT conflict budget per LM call (0 = unlimited)")
 		timeout   = flag.Duration("timeout", 0, "SAT time budget per LM call (0 = unlimited)")
 		verbose   = flag.Bool("v", false, "print bounds and search statistics")
 		svgPath   = flag.String("svg", "", "write the (first) solution as an SVG drawing to this file")
+		tracePath = flag.String("trace", "", "write a JSONL span trace of the synthesis to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -46,6 +52,32 @@ func main() {
 
 	opt := janus.Options{}
 	opt.Encode.Limits = janus.SATLimits{MaxConflicts: *conflicts, Timeout: *timeout}
+	opt.Encode.CEGAR = *cegar
+
+	if *debugAddr != "" {
+		ln, err := janus.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "janus: debug server on http://%s/metrics\n", ln.Addr())
+	}
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		tracer := janus.NewTracer(tf)
+		opt.Tracer = tracer
+		defer func() {
+			if err := tracer.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "janus: trace:", err)
+			}
+			if err := tf.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "janus: trace:", err)
+			}
+		}()
+	}
 
 	if *multi {
 		mr, err := janus.SynthesizeMulti(p.Covers, opt, true)

@@ -18,6 +18,7 @@ import (
 	"github.com/lattice-tools/janus/internal/encode"
 	"github.com/lattice-tools/janus/internal/lattice"
 	"github.com/lattice-tools/janus/internal/minimize"
+	"github.com/lattice-tools/janus/internal/obsv"
 	"github.com/lattice-tools/janus/internal/sat"
 )
 
@@ -30,6 +31,7 @@ func main() {
 		primal    = flag.Bool("primal", false, "force the primal (top-bottom) formulation")
 		dualMode  = flag.Bool("dual", false, "force the dual (left-right) formulation")
 		conflicts = flag.Int64("conflicts", 0, "SAT conflict budget (0 = unlimited)")
+		tracePath = flag.String("trace", "", "write a JSONL span trace of the LM solve to this file")
 	)
 	flag.Parse()
 
@@ -58,6 +60,24 @@ func main() {
 		opt.Mode = encode.PrimalOnly
 	case *dualMode:
 		opt.Mode = encode.DualOnly
+	}
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		tracer := obsv.NewTracer(tf)
+		root := obsv.Start(tracer, nil, "SolveLM")
+		opt.Span = root
+		defer func() {
+			root.End()
+			if err := tracer.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "lm: trace:", err)
+			}
+			if err := tf.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "lm: trace:", err)
+			}
+		}()
 	}
 
 	if *dimacs {

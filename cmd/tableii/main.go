@@ -18,6 +18,7 @@ import (
 	"os"
 	"regexp"
 	"strings"
+	"time"
 
 	"github.com/lattice-tools/janus"
 	"github.com/lattice-tools/janus/internal/benchdata"
@@ -35,8 +36,37 @@ func main() {
 		workers   = flag.Int("workers", 1, "parallel LM solves per search midpoint")
 		budget    = flag.Duration("budget", 0, "wall-clock budget per instance for JANUS (0 = unlimited)")
 		cegar     = flag.Bool("cegar", false, "use the CEGAR LM engine for JANUS")
+		tracePath = flag.String("trace", "", "write a JSONL span trace of every JANUS run to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address")
 	)
 	flag.Parse()
+
+	var tracer *janus.Tracer
+	if *debugAddr != "" {
+		ln, err := janus.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tableii:", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "tableii: debug server on http://%s/metrics\n", ln.Addr())
+	}
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tableii:", err)
+			os.Exit(1)
+		}
+		tracer = janus.NewTracer(tf)
+		defer func() {
+			if err := tracer.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "tableii: trace:", err)
+			}
+			if err := tf.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "tableii: trace:", err)
+			}
+		}()
+	}
 
 	var re *regexp.Regexp
 	if *runRe != "" {
@@ -74,7 +104,7 @@ func main() {
 
 		var cells []string
 		if want["janus"] {
-			opt := janus.Options{Workers: *workers, Budget: *budget}
+			opt := janus.Options{Workers: *workers, Budget: *budget, Tracer: tracer}
 			opt.Encode.Limits = lims
 			opt.Encode.CEGAR = *cegar
 			r, err := janus.Synthesize(f, opt)
@@ -121,12 +151,29 @@ func main() {
 	if n > 0 {
 		fmt.Printf("\nJANUS average switches: measured %.1f vs paper %.1f over %d instances\n",
 			float64(sumSize)/float64(n), float64(sumPaper)/float64(n), n)
-		ms := janus.MemoSnapshot()
-		fmt.Printf("SAT effort: %s\nmemo hits/misses: %s\n",
-			report.Effort(added, rebuilt, iters),
-			report.MemoLine("paths", ms.PathHits, ms.PathMisses,
-				"tables", ms.TableHits, ms.TableMisses,
-				"covers", ms.CoverHits, ms.CoverMisses))
+		fmt.Printf("SAT effort: %s\n", report.Effort(added, rebuilt, iters))
+		// The rest of the footer reads the process-wide metrics registry,
+		// the same data /metrics and expvar serve.
+		snap := janus.Metrics()
+		rate := func(cache string) string {
+			return report.Rate(snap.Get("janus_memo_"+cache+"_hits"),
+				snap.Get("janus_memo_"+cache+"_misses"))
+		}
+		fmt.Printf("memo hit rates: paths %s  tables %s  covers %s\n",
+			rate("paths"), rate("tables"), rate("covers"))
+		phaseNS := func(phase string) time.Duration {
+			return time.Duration(snap.Get("janus_core_phase_" + phase + "_ns_total"))
+		}
+		fmt.Printf("phase wall-clock: minimize %v  bounds %v  ds %v  search %v\n",
+			phaseNS("minimize").Round(10*time.Microsecond),
+			phaseNS("bounds").Round(10*time.Microsecond),
+			phaseNS("ds").Round(10*time.Microsecond),
+			phaseNS("search").Round(10*time.Microsecond))
+		fmt.Printf("solver: %s conflicts  %s propagations  %s restarts over %s solves\n",
+			report.Count(snap.Get("janus_sat_conflicts_total")),
+			report.Count(snap.Get("janus_sat_propagations_total")),
+			report.Count(snap.Get("janus_sat_restarts_total")),
+			report.Count(snap.Get("janus_sat_solves_total")))
 	}
 }
 

@@ -23,6 +23,7 @@ func main() {
 		conflicts = flag.Int64("conflicts", 100000, "SAT conflict budget per LM call")
 		timeout   = flag.Duration("timeout", 0, "SAT time budget per LM call")
 		budget    = flag.Duration("budget", 0, "wall-clock budget per output synthesis (0 = unlimited)")
+		tracePath = flag.String("trace", "", "write a JSONL span trace of every run to this file")
 	)
 	flag.Parse()
 
@@ -37,6 +38,23 @@ func main() {
 	}
 	opt := janus.Options{Budget: *budget}
 	opt.Encode.Limits = janus.SATLimits{MaxConflicts: *conflicts, Timeout: *timeout}
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tableiii:", err)
+			os.Exit(1)
+		}
+		tracer := janus.NewTracer(tf)
+		opt.Tracer = tracer
+		defer func() {
+			if err := tracer.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "tableiii: trace:", err)
+			}
+			if err := tf.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "tableiii: trace:", err)
+			}
+		}()
+	}
 
 	fmt.Printf("%-8s %4s | %-22s %-22s | %-14s %-14s\n",
 		"instance", "#out", "measured SF (sol size s)", "measured MF (sol size s)",

@@ -1,0 +1,195 @@
+// Command tracesum aggregates a JSONL span trace produced by the -trace
+// flag of janus/tableii/tableiii/lm into per-phase and per-candidate
+// summary tables.
+//
+// Usage:
+//
+//	tracesum [-validate] [trace.jsonl]
+//
+// Reads standard input when no file is given. The trace is always checked
+// against the span schema first; with -validate the command stops after
+// the check and prints the span count (non-zero exit on a bad trace),
+// which is what the CI trace job runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/lattice-tools/janus/internal/obsv"
+	"github.com/lattice-tools/janus/internal/report"
+)
+
+func main() {
+	validate := flag.Bool("validate", false, "only validate the trace against the span schema")
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	recs, err := obsv.ReadTrace(in)
+	if err != nil {
+		fatal(err)
+	}
+	if err := obsv.ValidateRecords(recs); err != nil {
+		fatal(err)
+	}
+	if *validate {
+		fmt.Printf("trace OK: %d spans\n", len(recs))
+		return
+	}
+
+	byName(recs)
+	fmt.Println()
+	byCandidate(recs)
+}
+
+// byName prints one row per span name: how often the pipeline entered that
+// phase and how much wall-clock it accumulated there.
+func byName(recs []obsv.Record) {
+	type agg struct {
+		n     int64
+		durNS int64
+	}
+	names := map[string]*agg{}
+	for _, r := range recs {
+		a := names[r.Span]
+		if a == nil {
+			a = &agg{}
+			names[r.Span] = a
+		}
+		a.n++
+		a.durNS += r.DurNS
+	}
+	order := make([]string, 0, len(names))
+	for n := range names {
+		order = append(order, n)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return names[order[i]].durNS > names[order[j]].durNS
+	})
+
+	t := report.NewTable("span", "count", "total", "mean")
+	for _, n := range order {
+		a := names[n]
+		t.Add(n, fmt.Sprint(a.n),
+			dur(a.durNS), dur(a.durNS/a.n))
+	}
+	fmt.Print(t.String())
+}
+
+// byCandidate prints one row per (grid, orientation, engine) LM attempt
+// group: outcomes, CEGAR iterations, clause volume, and the SAT conflicts
+// its SatSolve descendants report.
+func byCandidate(recs []obsv.Record) {
+	byID := make(map[uint64]obsv.Record, len(recs))
+	for _, r := range recs {
+		byID[r.ID] = r
+	}
+	// candOf walks ancestors to the enclosing Candidate span, if any.
+	candOf := func(r obsv.Record) (obsv.Record, bool) {
+		for p := r.Parent; p != 0; {
+			pr, ok := byID[p]
+			if !ok {
+				return obsv.Record{}, false
+			}
+			if pr.Span == "Candidate" {
+				return pr, true
+			}
+			p = pr.Parent
+		}
+		return obsv.Record{}, false
+	}
+
+	type agg struct {
+		key       string
+		n         int64
+		sat       int64
+		unsat     int64
+		other     int64
+		iters     int64
+		clauses   int64
+		conflicts int64
+		durNS     int64
+	}
+	groups := map[string]*agg{}
+	group := func(r obsv.Record) *agg {
+		key := fmt.Sprintf("%v %v %v",
+			r.Attrs["grid"], r.Attrs["orient"], r.Attrs["engine"])
+		a := groups[key]
+		if a == nil {
+			a = &agg{key: key}
+			groups[key] = a
+		}
+		return a
+	}
+	for _, r := range recs {
+		switch r.Span {
+		case "Candidate":
+			a := group(r)
+			a.n++
+			a.durNS += r.DurNS
+			a.iters += attrInt(r, "cegar_iters")
+			a.clauses += attrInt(r, "clauses_added")
+			switch r.Attrs["status"] {
+			case "SAT":
+				a.sat++
+			case "UNSAT":
+				a.unsat++
+			default:
+				a.other++
+			}
+		case "SatSolve":
+			if cand, ok := candOf(r); ok {
+				group(cand).conflicts += attrInt(r, "conflicts")
+			}
+		}
+	}
+	if len(groups) == 0 {
+		fmt.Println("no Candidate spans in trace")
+		return
+	}
+	order := make([]*agg, 0, len(groups))
+	for _, a := range groups {
+		order = append(order, a)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].durNS > order[j].durNS })
+
+	t := report.NewTable("candidate", "n", "sat", "unsat", "?", "iters", "clauses", "conflicts", "total")
+	for _, a := range order {
+		t.Add(a.key, fmt.Sprint(a.n), fmt.Sprint(a.sat), fmt.Sprint(a.unsat),
+			fmt.Sprint(a.other), fmt.Sprint(a.iters),
+			report.Count(a.clauses), report.Count(a.conflicts), dur(a.durNS))
+	}
+	fmt.Print(t.String())
+}
+
+// attrInt reads a numeric attribute; JSON decoding hands ints back as
+// float64.
+func attrInt(r obsv.Record, key string) int64 {
+	switch v := r.Attrs[key].(type) {
+	case float64:
+		return int64(v)
+	case int64:
+		return v
+	}
+	return 0
+}
+
+func dur(ns int64) string {
+	return time.Duration(ns).Round(10 * time.Microsecond).String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracesum:", err)
+	os.Exit(1)
+}

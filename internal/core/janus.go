@@ -20,6 +20,7 @@ import (
 	"github.com/lattice-tools/janus/internal/encode"
 	"github.com/lattice-tools/janus/internal/lattice"
 	"github.com/lattice-tools/janus/internal/minimize"
+	"github.com/lattice-tools/janus/internal/obsv"
 	"github.com/lattice-tools/janus/internal/sat"
 )
 
@@ -58,6 +59,14 @@ type Options struct {
 	// inherited by DS/MF sub-syntheses so nested searches share the same
 	// wall-clock budget.
 	Deadline time.Time
+	// Tracer, when non-nil, receives the synthesis' hierarchical span
+	// trace (Synthesize → DichotomicStep → Candidate → CegarIter →
+	// SatSolve) as JSONL; nil disables tracing at zero cost.
+	Tracer *obsv.Tracer
+	// TraceParent nests this synthesis' root span under an existing
+	// span. Set automatically for DS and MF sub-syntheses; leave nil for
+	// top-level runs.
+	TraceParent *obsv.Span
 }
 
 func (o Options) expired() bool {
@@ -123,12 +132,22 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 	if opt.Budget > 0 && opt.Deadline.IsZero() {
 		opt.Deadline = start.Add(opt.Budget)
 	}
+	root := obsv.Start(opt.Tracer, opt.TraceParent, "Synthesize")
+	defer root.End()
+	root.SetInt("inputs", int64(f.N))
+	mSyntheses.Inc()
+
 	var isop, dual cube.Cover
-	if opt.SkipMinimize {
-		isop = f
-		dual = minimize.Auto(f.Dual())
-	} else {
-		isop, dual = minimize.AutoDual(f)
+	{
+		minSpan, done := phase(root, "Minimize", mPhaseMinimNS)
+		if opt.SkipMinimize {
+			isop = f
+			dual = minimize.Auto(f.Dual())
+		} else {
+			isop, dual = minimize.AutoDual(f)
+		}
+		minSpan.SetInt("products", int64(len(isop.Cubes)))
+		done()
 	}
 
 	res := Result{ISOP: isop, DualISOP: dual}
@@ -149,18 +168,23 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 	}
 
 	// Initial upper bounds.
+	boundsSpan, boundsDone := phase(root, "Bounds", mPhaseBoundNS)
 	plain := bounds.All(isop, dual, false)
 	improved := plain
 	if !opt.DisableImprovedBounds {
 		improved = bounds.All(isop, dual, true)
 	}
 	if len(plain) == 0 || len(improved) == 0 {
+		boundsDone()
 		return Result{}, fmt.Errorf("%w: no verified upper bound", ErrUnsupported)
 	}
 	res.OUB = plain[0].Size()
 	best := improved[0]
 	incumbent := best.Assignment
 	res.UBMethod = best.Name
+	boundsSpan.SetInt("oub", int64(res.OUB))
+	boundsSpan.SetInt("ub", int64(incumbent.Size()))
+	boundsDone()
 
 	var st lmStats
 	if !opt.DisableDS && !opt.DisableImprovedBounds &&
@@ -168,7 +192,10 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 		// DS spends SAT effort on an upper bound only; under a wall-clock
 		// budget it gets at most a third so the dichotomic search keeps
 		// the lion's share.
+		dsSpan, dsDone := phase(root, "DSBound", mPhaseDSNS)
 		dsOpt := opt
+		dsOpt.TraceParent = dsSpan
+		dsOpt.Encode.Span = dsSpan // reduceRows' direct LM calls
 		if opt.Budget > 0 {
 			if dsCap := start.Add(opt.Budget / 3); dsCap.Before(dsOpt.Deadline) {
 				dsOpt.Deadline = dsCap
@@ -178,6 +205,8 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 			incumbent = ds
 			res.UBMethod = "DS"
 		}
+		dsSpan.SetInt("ub", int64(incumbent.Size()))
+		dsDone()
 	}
 	res.NUB = incumbent.Size()
 
@@ -191,20 +220,35 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 	// anything of area ≤ mp fits, a maximal grid fits. The upper bound
 	// updates to the area actually found, which may be below mp.
 	ub := incumbent.Size()
+	srchSpan, srchDone := phase(root, "Search", mPhaseSrchNS)
 	for lb < ub && !opt.expired() {
 		mp := (lb + ub) / 2
+		mMidpoints.Inc()
+		step := srchSpan.Child("DichotomicStep")
+		step.SetInt("lb", int64(lb))
+		step.SetInt("ub", int64(ub))
+		step.SetInt("mp", int64(mp))
 		cands := candidates(mp, lb, opt.maxCells())
-		best, err := solveCandidates(isop, dual, cands, opt, &st)
+		step.SetInt("candidates", int64(len(cands)))
+		best, err := solveCandidates(isop, dual, cands, opt, step, &st)
 		if err != nil {
+			step.SetStr("outcome", "error")
+			step.End()
+			srchDone()
 			return res, err
 		}
 		if best != nil {
 			incumbent = best
 			ub = best.Size()
+			step.SetStr("outcome", "sat")
+			step.SetInt("size", int64(ub))
 		} else {
 			lb = mp + 1
+			step.SetStr("outcome", "unsat")
 		}
+		step.End()
 	}
+	srchDone()
 
 	res.LMSolved = st.solved
 	res.ClausesAdded = st.added
@@ -215,6 +259,9 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 	res.Size = incumbent.Size()
 	res.MatchedLB = res.Size == res.LB
 	res.Elapsed = time.Since(start)
+	root.SetStr("grid", res.Grid.String())
+	root.SetInt("size", int64(res.Size))
+	root.SetInt("lm_solved", int64(res.LMSolved))
 	return res, nil
 }
 
@@ -233,6 +280,7 @@ type lmStats struct {
 func (st *lmStats) note(r encode.Result) {
 	if !r.Structural {
 		st.solved++
+		mLMSolved.Inc()
 	}
 	st.added += int64(r.AddedClauses)
 	st.rebuilt += int64(r.RebuiltClauses)
@@ -250,13 +298,16 @@ func (st *lmStats) noteResult(r Result) {
 // solveCandidates decides the LM problem for each candidate, sequentially
 // or with opt.Workers goroutines, and returns the best (smallest-area,
 // then earliest) satisfiable assignment, folding solve effort into st.
-func solveCandidates(isop, dual cube.Cover, cands []lattice.Grid, opt Options, st *lmStats) (*lattice.Assignment, error) {
+// Candidate spans attach under the step span (nil when tracing is off).
+func solveCandidates(isop, dual cube.Cover, cands []lattice.Grid, opt Options, step *obsv.Span, st *lmStats) (*lattice.Assignment, error) {
+	eopt := opt.Encode
+	eopt.Span = step
 	if opt.Workers < 2 || len(cands) < 2 {
 		for _, g := range cands {
 			if opt.expired() {
 				break
 			}
-			r, err := encode.SolveLM(isop, dual, g, opt.Encode)
+			r, err := encode.SolveLM(isop, dual, g, eopt)
 			if err != nil {
 				return nil, err
 			}
@@ -278,7 +329,7 @@ func solveCandidates(isop, dual cube.Cover, cands []lattice.Grid, opt Options, s
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = encode.SolveLM(isop, dual, g, opt.Encode)
+			results[i], errs[i] = encode.SolveLM(isop, dual, g, eopt)
 		}(i, g)
 	}
 	wg.Wait()

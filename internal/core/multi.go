@@ -8,6 +8,7 @@ import (
 	"github.com/lattice-tools/janus/internal/cube"
 	"github.com/lattice-tools/janus/internal/lattice"
 	"github.com/lattice-tools/janus/internal/minimize"
+	"github.com/lattice-tools/janus/internal/obsv"
 	"github.com/lattice-tools/janus/internal/truth"
 )
 
@@ -87,6 +88,11 @@ func SynthesizeMulti(fns []cube.Cover, opt Options, reduce bool) (*MultiResult, 
 	if len(fns) == 0 {
 		return nil, errors.New("core: no functions given")
 	}
+	root := obsv.Start(opt.Tracer, opt.TraceParent, "SynthesizeMF")
+	defer root.End()
+	root.SetInt("outputs", int64(len(fns)))
+	opt.TraceParent = root // per-output Synthesize roots nest under MF
+
 	mr := &MultiResult{}
 	var st lmStats
 	parts := make([]*part, 0, len(fns))
@@ -103,11 +109,14 @@ func SynthesizeMulti(fns []cube.Cover, opt Options, reduce bool) (*MultiResult, 
 	}
 	if reduce {
 		sub := subOptions(opt)
+		reduceSpan := root.Child("ReduceRows")
+		sub.Encode.Span = reduceSpan // fixedRowSearch/trimCols LM calls
 		if sub.Budget > 0 && sub.Deadline.IsZero() {
 			// The row-reduction phase gets its own budget window.
 			sub.Deadline = time.Now().Add(sub.Budget)
 		}
 		parts = reduceMultiRows(parts, sub, &st)
+		reduceSpan.End()
 	}
 	mr.LMSolved = st.solved
 	mr.ClausesAdded = st.added

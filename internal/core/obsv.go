@@ -1,0 +1,34 @@
+package core
+
+import (
+	"time"
+
+	"github.com/lattice-tools/janus/internal/obsv"
+)
+
+// Registry handles for the search-level pipeline (janus_core_*). The
+// phase counters accumulate wall-clock nanoseconds per synthesis phase;
+// cmd/tableii's footer reads them back for its per-phase breakdown.
+var (
+	mSyntheses    = obsv.Default.Counter("janus_core_syntheses_total")
+	mLMSolved     = obsv.Default.Counter("janus_core_lm_solved_total")
+	mMidpoints    = obsv.Default.Counter("janus_core_dichotomic_steps_total")
+	mPhaseMinimNS = obsv.Default.Counter("janus_core_phase_minimize_ns_total")
+	mPhaseBoundNS = obsv.Default.Counter("janus_core_phase_bounds_ns_total")
+	mPhaseDSNS    = obsv.Default.Counter("janus_core_phase_ds_ns_total")
+	mPhaseSrchNS  = obsv.Default.Counter("janus_core_phase_search_ns_total")
+)
+
+// phase times one synthesis phase into both a trace span and its
+// registry counter: sp, done := phase(parent, "Bounds", mPhaseBoundNS);
+// ... ; done(). The span is nil (free) when tracing is off; the counter
+// always runs because the cmd footers report phase wall-clock even
+// without a trace file.
+func phase(parent *obsv.Span, name string, ns *obsv.Counter) (*obsv.Span, func()) {
+	sp := parent.Child(name)
+	start := time.Now()
+	return sp, func() {
+		ns.Add(time.Since(start).Nanoseconds())
+		sp.End()
+	}
+}

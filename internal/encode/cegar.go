@@ -32,6 +32,7 @@ func SolveLMCegar(target, targetDual cube.Cover, g lattice.Grid, opt Options) (R
 		return SolveLM(target, targetDual, g, opt)
 	}
 	if !StructuralCheck(target, targetDual, g) {
+		mStructural.Inc()
 		return Result{Status: sat.Unsat, Structural: true}, nil
 	}
 
@@ -131,10 +132,17 @@ func cegarOne(enc, target cube.Cover, targetTab *truth.Table, g lattice.Grid,
 	s := sat.New(p.b.NumVars())
 
 	res := Result{UsedDual: dual}
+	cand, setSpan := startCandidate(opt.Span, g, dual, "cegar", s)
+	defer func() {
+		noteStatus(cand, res)
+		cand.End()
+	}()
+
 	seen := map[uint64]bool{}
 	addEntry := func(t uint64) {
 		if !seen[t] {
 			seen[t] = true
+			mCegarEntries.Inc()
 			p.addEntry(t, encTab.Get(t), opt)
 		}
 	}
@@ -155,9 +163,17 @@ func cegarOne(enc, target cube.Cover, targetTab *truth.Table, g lattice.Grid,
 	for {
 		// Hand only the new skeleton/entry clauses to the solver; the
 		// accumulated formula stays attached with its learnt clauses.
-		res.AddedClauses += p.b.FlushTo(s)
+		iterSpan := cand.Child("CegarIter")
+		iterSpan.SetInt("iter", int64(res.CegarIters))
+		added := p.b.FlushTo(s)
+		res.AddedClauses += added
 		res.RebuiltClauses += p.b.NumClauses()
 		res.CegarIters++
+		mCegarIters.Inc()
+		mClausesAdded.Add(int64(added))
+		mClausesRebld.Add(int64(p.b.NumClauses()))
+		iterSpan.SetInt("clauses_added", int64(added))
+		iterSpan.SetInt("entries", int64(len(seen)))
 
 		lims := opt.Limits
 		if lims.MaxConflicts > 0 {
@@ -169,23 +185,32 @@ func cegarOne(enc, target cube.Cover, targetTab *truth.Table, g lattice.Grid,
 			remain := time.Until(deadline)
 			if remain <= 0 {
 				res.Status = sat.Unknown
+				iterSpan.SetStr("outcome", "deadline")
+				iterSpan.End()
 				return res, nil
 			}
 			lims.Timeout = remain
 		}
+		solveSpan := iterSpan.Child("SatSolve")
+		setSpan(solveSpan)
 		st := s.Solve(lims)
+		solveSpan.End()
 		res.Status = st
 		res.Vars = p.b.NumVars()
 		res.Clauses = p.b.NumClauses()
 		res.SolverStat = s.Stats()
 		if st != sat.Sat {
+			iterSpan.SetStr("outcome", st.String())
+			iterSpan.End()
 			return res, nil // Unsat is definitive (relaxation); Unknown is a budget
 		}
-		cand := p.decode(s)
+		decoded := p.decode(s)
 		// Verify the candidate against the real target by simulation.
-		cex, ok := findMismatch(cand, targetTab)
+		cex, ok := findMismatch(decoded, targetTab)
 		if ok {
-			res.Assignment = cand
+			res.Assignment = decoded
+			iterSpan.SetStr("outcome", "verified")
+			iterSpan.End()
 			return res, nil
 		}
 		// Translate the mismatching input of f into an entry of the
@@ -196,9 +221,14 @@ func cegarOne(enc, target cube.Cover, targetTab *truth.Table, g lattice.Grid,
 			entry = ^cex & (encTab.Size() - 1)
 		}
 		if seen[entry] {
+			iterSpan.SetStr("outcome", "stuck")
+			iterSpan.End()
 			return res, fmt.Errorf("encode: CEGAR failed to make progress on %v (entry %d)", g, entry)
 		}
+		iterSpan.SetStr("outcome", "counterexample")
+		iterSpan.SetInt("cex", int64(entry))
 		addEntry(entry)
+		iterSpan.End()
 	}
 }
 

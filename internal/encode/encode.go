@@ -24,6 +24,7 @@ import (
 	"github.com/lattice-tools/janus/internal/cube"
 	"github.com/lattice-tools/janus/internal/lattice"
 	"github.com/lattice-tools/janus/internal/memo"
+	"github.com/lattice-tools/janus/internal/obsv"
 	"github.com/lattice-tools/janus/internal/sat"
 )
 
@@ -71,6 +72,10 @@ type Options struct {
 	CEGAR bool
 	// Limits bounds each SAT call.
 	Limits sat.Limits
+	// Span, when non-nil, is the parent trace span under which this LM
+	// solve opens its Candidate(m×n,orient) spans; nil disables tracing
+	// for the call at zero cost (see internal/obsv).
+	Span *obsv.Span
 }
 
 func (o Options) longThreshold() int {
@@ -566,6 +571,7 @@ func SolveLM(target, targetDual cube.Cover, g lattice.Grid, opt Options) (Result
 		return Result{Status: sat.Sat, Assignment: a}, nil
 	}
 	if !StructuralCheck(target, targetDual, g) {
+		mStructural.Inc()
 		return Result{Status: sat.Unsat, Structural: true}, nil
 	}
 
@@ -625,7 +631,11 @@ func SolveLM(target, targetDual cube.Cover, g lattice.Grid, opt Options) (Result
 		p := build(a.cover, g, a.dual, opt, nil)
 		s = p.b.SolverFrom()
 		p.b.ReleaseClauses() // the solver holds its own copy now
+		cand, setSpan := startCandidate(opt.Span, g, a.dual, "monolithic", s)
+		solveSpan := cand.Child("SatSolve")
+		setSpan(solveSpan)
 		st := s.Solve(opt.Limits)
+		solveSpan.End()
 		chosen = p
 		res = Result{
 			Status:         st,
@@ -636,6 +646,10 @@ func SolveLM(target, targetDual cube.Cover, g lattice.Grid, opt Options) (Result
 			AddedClauses:   p.b.NumClauses(),
 			RebuiltClauses: p.b.NumClauses(),
 		}
+		mClausesAdded.Add(int64(res.AddedClauses))
+		mClausesRebld.Add(int64(res.RebuiltClauses))
+		noteStatus(cand, res)
+		cand.End()
 		if st == sat.Sat {
 			break
 		}

@@ -21,6 +21,7 @@ import (
 
 	"github.com/lattice-tools/janus/internal/cube"
 	"github.com/lattice-tools/janus/internal/lattice"
+	"github.com/lattice-tools/janus/internal/obsv"
 	"github.com/lattice-tools/janus/internal/truth"
 )
 
@@ -106,6 +107,32 @@ var (
 	tableCache = newCache(tableBudget)
 	coverCache = newCache(coverBudget)
 )
+
+// The cache counters are exposed through the process-wide metrics
+// registry (janus_memo_*), so /metrics, expvar, and the cmd footers read
+// hit rates from one place instead of re-threading Snapshot by hand.
+// They are function-backed gauges, not counters, because Reset may send
+// them back to zero.
+func init() {
+	for _, c := range []struct {
+		name  string
+		cache *cache
+	}{
+		{"paths", pathCache},
+		{"tables", tableCache},
+		{"covers", coverCache},
+	} {
+		cache := c.cache
+		obsv.Default.RegisterFunc("janus_memo_"+c.name+"_hits", func() int64 {
+			h, _ := cache.counters()
+			return h
+		})
+		obsv.Default.RegisterFunc("janus_memo_"+c.name+"_misses", func() int64 {
+			_, m := cache.counters()
+			return m
+		})
+	}
+}
 
 // gridKey encodes (M, N, dual) into a compact string key.
 func gridKey(g lattice.Grid, dual bool) string {

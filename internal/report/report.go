@@ -106,6 +106,16 @@ func Effort(added, rebuilt, iters int64) string {
 	return s
 }
 
+// Rate formats a hit rate hits/(hits+misses) as a percentage, or "-"
+// when the cache was never consulted.
+func Rate(hits, misses int64) string {
+	total := hits + misses
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(total))
+}
+
 // MemoLine formats cache hit/miss pairs ("paths 5/2 tables 40/3 ..."),
 // as hits/misses per cache; label/value pairs keep it layout-free.
 func MemoLine(pairs ...any) string {

@@ -1,0 +1,112 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomHardCNF builds a random 3-CNF near the phase-transition density
+// so Solve has to search (conflicts, learnt clauses, restarts).
+func randomHardCNF(t *testing.T, s *Solver, nVars, nClauses int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < nClauses; i++ {
+		var lits []Lit
+		for len(lits) < 3 {
+			v := rng.Intn(nVars)
+			lits = append(lits, MkLit(v, rng.Intn(2) == 0))
+		}
+		if err := s.AddClause(lits...); err != nil {
+			t.Fatalf("AddClause: %v", err)
+		}
+	}
+}
+
+func TestSolveObserver(t *testing.T) {
+	s := New(60)
+	randomHardCNF(t, s, 60, 250, 1)
+
+	var calls []SolveStats
+	s.SetObserver(func(ss SolveStats) { calls = append(calls, ss) })
+
+	st1 := s.Solve(Limits{})
+	if len(calls) != 1 {
+		t.Fatalf("observer called %d times, want 1", len(calls))
+	}
+	ss := calls[0]
+	if ss.Status != st1 {
+		t.Fatalf("observer status %v != solve status %v", ss.Status, st1)
+	}
+	if ss.Delta != ss.Total {
+		t.Fatalf("first call: delta %+v != total %+v", ss.Delta, ss.Total)
+	}
+	if ss.Delta.Decisions == 0 || ss.Delta.Propagations == 0 {
+		t.Fatalf("observer saw no effort: %+v", ss.Delta)
+	}
+	if ss.Dur <= 0 {
+		t.Fatalf("non-positive duration %v", ss.Dur)
+	}
+	if ss.Clauses == 0 {
+		t.Fatal("observer saw no problem clauses")
+	}
+
+	// A second call must report deltas, not lifetime totals, and totals
+	// must stay monotone.
+	s.AddClause(MkLit(0, false), MkLit(1, false))
+	st2 := s.Solve(Limits{})
+	if len(calls) != 2 {
+		t.Fatalf("observer called %d times, want 2", len(calls))
+	}
+	ss2 := calls[1]
+	if ss2.Status != st2 {
+		t.Fatalf("second status %v != %v", ss2.Status, st2)
+	}
+	if ss2.Total.Propagations < ss.Total.Propagations {
+		t.Fatalf("totals went backwards: %+v then %+v", ss.Total, ss2.Total)
+	}
+	if got := ss2.Total.Propagations - ss.Total.Propagations; ss2.Delta.Propagations > got {
+		t.Fatalf("delta %d exceeds total growth %d", ss2.Delta.Propagations, got)
+	}
+
+	// Detaching the observer stops the callbacks.
+	s.SetObserver(nil)
+	s.Solve(Limits{})
+	if len(calls) != 2 {
+		t.Fatalf("observer called after detach: %d calls", len(calls))
+	}
+}
+
+func TestLBDHistogramAndReductions(t *testing.T) {
+	s := New(80)
+	randomHardCNF(t, s, 80, 340, 7)
+	var got SolveStats
+	s.SetObserver(func(ss SolveStats) { got = ss })
+	s.Solve(Limits{MaxConflicts: 20000})
+
+	if got.Delta.Conflicts == 0 {
+		t.Skip("instance solved without conflicts; nothing to check")
+	}
+	var histTotal int64
+	for _, n := range got.LBDHist {
+		histTotal += n
+	}
+	// Every learnt clause of length ≥ 2 contributes one histogram entry;
+	// unit learnts don't, so histTotal ≤ Learnts.
+	if histTotal == 0 || histTotal > got.Delta.Learnts {
+		t.Fatalf("LBD histogram total %d vs learnts %d", histTotal, got.Delta.Learnts)
+	}
+	if got.Delta.LBDSum <= 0 {
+		t.Fatalf("LBDSum = %d, want > 0", got.Delta.LBDSum)
+	}
+	hist := s.LBDHistogram()
+	var lifetime int64
+	for _, n := range hist {
+		lifetime += n
+	}
+	if lifetime < histTotal {
+		t.Fatalf("lifetime histogram %d < per-call %d", lifetime, histTotal)
+	}
+	if got.Delta.Removed > 0 && got.Delta.Reductions == 0 {
+		t.Fatalf("clauses removed (%d) without a reduction pass", got.Delta.Removed)
+	}
+}

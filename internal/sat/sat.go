@@ -75,7 +75,8 @@ type Limits struct {
 	Timeout      time.Duration
 }
 
-// Stats reports search effort counters.
+// Stats reports search effort counters, cumulative over the solver's
+// lifetime (Solve calls interleaved with AddClause keep counting).
 type Stats struct {
 	Decisions    int64
 	Conflicts    int64
@@ -83,6 +84,51 @@ type Stats struct {
 	Restarts     int64
 	Learnts      int64
 	Removed      int64
+	// Reductions counts learnt-DB reduction passes (each pass removes
+	// many clauses; Removed counts the clauses).
+	Reductions int64
+	// LBDSum accumulates the literal block distance of every learnt
+	// clause; LBDSum/Learnts is the mean learnt quality (lower is
+	// better, glucose-style).
+	LBDSum int64
+}
+
+// Sub returns the counter deltas s − t, for windowed measurements such
+// as per-Solve effort.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		Decisions:    s.Decisions - t.Decisions,
+		Conflicts:    s.Conflicts - t.Conflicts,
+		Propagations: s.Propagations - t.Propagations,
+		Restarts:     s.Restarts - t.Restarts,
+		Learnts:      s.Learnts - t.Learnts,
+		Removed:      s.Removed - t.Removed,
+		Reductions:   s.Reductions - t.Reductions,
+		LBDSum:       s.LBDSum - t.LBDSum,
+	}
+}
+
+// LBDBuckets is the size of the solver's LBD distribution: bucket i
+// counts learnt clauses with LBD i (clamped into the last bucket).
+const LBDBuckets = 16
+
+// SolveStats describes one Solve call, handed to the observer installed
+// with SetObserver when the call returns.
+type SolveStats struct {
+	// Status is the call's outcome (Sat, Unsat, or Unknown on budget).
+	Status Status
+	// Dur is the call's wall-clock duration.
+	Dur time.Duration
+	// Delta is the effort this call spent; Total the cumulative counters
+	// after it.
+	Delta, Total Stats
+	// LBDHist is the per-call LBD distribution of the clauses this call
+	// learnt (see LBDBuckets).
+	LBDHist [LBDBuckets]int64
+	// LearntDB is the learnt-clause database size after the call.
+	LearntDB int
+	// Clauses is the problem clause count at the time of the call.
+	Clauses int
 }
 
 type clause struct {
@@ -141,8 +187,15 @@ type Solver struct {
 	seen     []bool
 	lbdStamp []int64
 	lbdGen   int64
+	lbdHist  [LBDBuckets]int64
 
 	learntCap int
+
+	// observer, when set, receives per-call statistics at the end of
+	// every Solve. It lets an external tracer see inside the CDCL loop
+	// without this package depending on it (internal/obsv stays a
+	// consumer, not a dependency).
+	observer func(SolveStats)
 }
 
 // New returns a solver over nVars variables.
@@ -177,6 +230,17 @@ func (s *Solver) NumClauses() int { return len(s.clauses) }
 
 // Stats returns search counters accumulated so far.
 func (s *Solver) Stats() Stats { return s.stats }
+
+// LBDHistogram returns the lifetime LBD distribution of learnt clauses:
+// element i counts clauses learnt with LBD i, the last element catching
+// everything at or above LBDBuckets−1.
+func (s *Solver) LBDHistogram() [LBDBuckets]int64 { return s.lbdHist }
+
+// SetObserver installs a callback invoked at the end of every Solve call
+// with that call's statistics. A nil observer disables the hook. The
+// callback runs on the Solve goroutine; it must not call back into the
+// solver.
+func (s *Solver) SetObserver(fn func(SolveStats)) { s.observer = fn }
 
 // AddVar allocates a fresh variable and returns its index.
 func (s *Solver) AddVar() int {
@@ -600,6 +664,7 @@ func (s *Solver) pickBranchVar() int {
 // --- learnt DB management ------------------------------------------------
 
 func (s *Solver) reduceDB() {
+	s.stats.Reductions++
 	sort.Slice(s.learnts, func(i, j int) bool {
 		a, b := s.learnts[i], s.learnts[j]
 		if a.lbd != b.lbd {
@@ -648,6 +713,28 @@ func luby(x int64) int64 {
 // far, reusing the learnt-clause database, variable activities, and saved
 // phases accumulated by earlier calls.
 func (s *Solver) Solve(lim Limits) Status {
+	if s.observer == nil {
+		return s.solve(lim)
+	}
+	before, histBefore := s.stats, s.lbdHist
+	start := time.Now()
+	st := s.solve(lim)
+	ss := SolveStats{
+		Status:   st,
+		Dur:      time.Since(start),
+		Delta:    s.stats.Sub(before),
+		Total:    s.stats,
+		LearntDB: len(s.learnts),
+		Clauses:  len(s.clauses),
+	}
+	for i := range ss.LBDHist {
+		ss.LBDHist[i] = s.lbdHist[i] - histBefore[i]
+	}
+	s.observer(ss)
+	return st
+}
+
+func (s *Solver) solve(lim Limits) Status {
 	if !s.ok {
 		return Unsat
 	}
@@ -696,6 +783,12 @@ func (s *Solver) search(budget int64, lim Limits, deadline time.Time) Status {
 				c.lbd = s.lbdPrecise(learnt)
 				s.learnts = append(s.learnts, c)
 				s.stats.Learnts++
+				s.stats.LBDSum += int64(c.lbd)
+				if b := int(c.lbd); b < LBDBuckets {
+					s.lbdHist[b]++
+				} else {
+					s.lbdHist[LBDBuckets-1]++
+				}
 				s.attach(c)
 				s.claBump(c)
 				s.uncheckedEnqueue(learnt[0], c)

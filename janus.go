@@ -24,6 +24,7 @@ package janus
 
 import (
 	"io"
+	"net"
 
 	"github.com/lattice-tools/janus/internal/baselines"
 	"github.com/lattice-tools/janus/internal/bounds"
@@ -33,6 +34,7 @@ import (
 	"github.com/lattice-tools/janus/internal/lattice"
 	"github.com/lattice-tools/janus/internal/memo"
 	"github.com/lattice-tools/janus/internal/minimize"
+	"github.com/lattice-tools/janus/internal/obsv"
 	"github.com/lattice-tools/janus/internal/pla"
 	"github.com/lattice-tools/janus/internal/sat"
 )
@@ -72,7 +74,32 @@ type (
 	// MemoStats is a snapshot of the process-wide memoization caches
 	// (path enumerations, truth tables, lattice-function covers).
 	MemoStats = memo.Stats
+	// Tracer writes a synthesis' hierarchical span trace as JSONL; set
+	// Options.Tracer to enable (nil keeps tracing free).
+	Tracer = obsv.Tracer
+	// Span is one node of a trace; Options.TraceParent nests a synthesis
+	// under an existing span.
+	Span = obsv.Span
+	// MetricsSnapshot is a point-in-time copy of the process-wide metrics
+	// registry (janus_* counters, gauges, and histograms).
+	MetricsSnapshot = obsv.Snapshot
 )
+
+// NewTracer starts a JSONL span tracer writing to w. The caller owns w;
+// check Err after the run for deferred write failures.
+func NewTracer(w io.Writer) *Tracer { return obsv.NewTracer(w) }
+
+// Metrics snapshots the process-wide registry. All synthesis layers
+// publish here (janus_core_*, janus_encode_*, janus_sat_*, janus_memo_*);
+// the same data is exported through expvar as "janus_metrics".
+func Metrics() MetricsSnapshot { return obsv.Default.Snapshot() }
+
+// ServeDebug starts a background HTTP listener exposing /metrics,
+// /debug/vars, and /debug/pprof for live inspection of a long synthesis.
+// It returns the bound listener; close it to stop serving.
+func ServeDebug(addr string) (net.Listener, error) {
+	return obsv.ServeDebug(addr, obsv.Default)
+}
 
 // MemoSnapshot returns the current hit/miss counters of the shared
 // memoization caches. Repeated solves of similar grids should show the

@@ -4,7 +4,10 @@
 # Usage: scripts/bench.sh [output.json]
 #
 # Runs the encoding ablation, the Table II JANUS subset, and the CEGAR
-# engine bench, and converts `go test -bench` output into a JSON document:
+# engine bench, and converts `go test -bench` output into a JSON document.
+# Every ReportMetric unit lands in the per-benchmark "metrics" map, so the
+# CEGAR rows carry the solver-effort counters (conflicts, propagations)
+# next to iters and clause volumes:
 #
 #   {
 #     "benchmarks": [ {"name": ..., "ns_per_op": ..., "metrics": {...}}, ... ],
