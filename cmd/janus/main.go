@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	janus [-o N] [-multi] [-cegar] [-conflicts N] [-timeout D] [-v]
-//	      [-trace FILE] [-debug-addr ADDR] [file.pla]
+//	janus [-o N] [-multi] [-cegar] [-portfolio] [-conflicts N] [-timeout D]
+//	      [-v] [-trace FILE] [-debug-addr ADDR] [file.pla]
 //
 // Without -multi each selected output is synthesized on its own lattice;
 // with -multi all outputs are packed onto a single lattice with JANUS-MF.
@@ -27,6 +27,7 @@ func main() {
 		outIdx    = flag.Int("o", -1, "synthesize only this output index (default: all)")
 		multi     = flag.Bool("multi", false, "realize all outputs on a single lattice (JANUS-MF)")
 		cegar     = flag.Bool("cegar", false, "use the CEGAR LM engine")
+		portfolio = flag.Bool("portfolio", false, "race the primal and dual orientations of each candidate lattice (implies -cegar)")
 		conflicts = flag.Int64("conflicts", 0, "SAT conflict budget per LM call (0 = unlimited)")
 		timeout   = flag.Duration("timeout", 0, "SAT time budget per LM call (0 = unlimited)")
 		verbose   = flag.Bool("v", false, "print bounds and search statistics")
@@ -53,6 +54,7 @@ func main() {
 	opt := janus.Options{}
 	opt.Encode.Limits = janus.SATLimits{MaxConflicts: *conflicts, Timeout: *timeout}
 	opt.Encode.CEGAR = *cegar
+	opt.Portfolio = *portfolio
 
 	if *debugAddr != "" {
 		ln, err := janus.ServeDebug(*debugAddr)

@@ -1,0 +1,109 @@
+// Command janusd serves JANUS synthesis over HTTP: a bounded job queue
+// with request coalescing in front of the synthesis engine, plus a
+// persistent result/path cache so repeated questions are answered
+// without re-searching.
+//
+// Usage:
+//
+//	janusd [-addr :7151] [-workers N] [-queue N] [-cache-dir DIR]
+//	       [-cache-entries N] [-cache-bytes N] [-mem-entries N]
+//	       [-default-timeout D] [-max-timeout D] [-synth-workers N]
+//	       [-drain-timeout D] [-debug-addr ADDR]
+//
+// API:
+//
+//	POST /v1/synthesize   {"pla": ".i 4\n.o 1\n1111 1\n0000 1\n.e"}
+//	GET  /v1/jobs/{id}    poll an async or timed-out job
+//	GET  /healthz         queue health (503 while draining)
+//	GET  /metrics         process-wide janus_* metrics
+//
+// SIGINT/SIGTERM starts a graceful shutdown: admission stops, accepted
+// jobs finish (bounded by -drain-timeout), and the memo path snapshot is
+// persisted to the cache directory. A second signal aborts the drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/lattice-tools/janus"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7151", "HTTP listen address")
+		workers    = flag.Int("workers", 2, "concurrent synthesis jobs")
+		queue      = flag.Int("queue", 64, "accepted-job backlog before 429")
+		cacheDir   = flag.String("cache-dir", "", "persistent cache directory (empty = memory only)")
+		cacheEnts  = flag.Int("cache-entries", 4096, "max results kept on disk")
+		cacheBytes = flag.Int64("cache-bytes", 64<<20, "max bytes of results kept on disk")
+		memEnts    = flag.Int("mem-entries", 256, "max results kept in memory")
+		defTimeout = flag.Duration("default-timeout", 5*time.Minute, "budget for requests without timeout_ms")
+		maxTimeout = flag.Duration("max-timeout", time.Hour, "cap on any request budget")
+		synthW     = flag.Int("synth-workers", 1, "candidate-level parallelism inside each job")
+		drain      = flag.Duration("drain-timeout", 2*time.Minute, "graceful shutdown budget")
+		debugAddr  = flag.String("debug-addr", "", "extra listener for /metrics and /debug/pprof")
+	)
+	flag.Parse()
+
+	srv, err := janus.NewServer(janus.ServiceConfig{
+		Workers: *workers, QueueDepth: *queue,
+		MemEntries: *memEnts, CacheDir: *cacheDir,
+		DiskEntries: *cacheEnts, DiskBytes: *cacheBytes,
+		DefaultTimeout: *defTimeout, MaxTimeout: *maxTimeout,
+		SynthWorkers: *synthW,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *debugAddr != "" {
+		dln, err := janus.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer dln.Close()
+		fmt.Fprintf(os.Stderr, "janusd: debug server on http://%s/metrics\n", dln.Addr())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "janusd: serving on http://%s\n", ln.Addr())
+
+	sigCtx, stop := signal.NotifyContext(context.Background(),
+		syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-sigCtx.Done():
+		stop() // a second signal kills the process the default way
+		fmt.Fprintln(os.Stderr, "janusd: draining...")
+	case err := <-errc:
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	httpSrv.Shutdown(ctx) //nolint:errcheck // the service drain below is the one that matters
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "janusd: drain:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "janusd: drained")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "janusd:", err)
+	os.Exit(1)
+}

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -55,6 +56,19 @@ type Options struct {
 	// search stops and the best verified incumbent is returned. Zero
 	// means unlimited.
 	Budget time.Duration
+	// Ctx cancels the synthesis cooperatively: when it is done, the
+	// search stops between LM solves and the cancellation is threaded
+	// into the SAT solver's interrupt channel so running solves abort
+	// within a bounded number of search steps. Like an expired Budget,
+	// cancellation is not an error — the best verified incumbent found so
+	// far is returned. Nil means no cancellation (context.Background
+	// semantics without the import on every call site).
+	Ctx context.Context
+	// Portfolio races the primal and dual CEGAR orientations of every
+	// candidate lattice concurrently, taking the first definitive answer
+	// and cancelling the loser (the ROADMAP's portfolio solving item).
+	// Implies the CEGAR engine for LM solves.
+	Portfolio bool
 	// Deadline is the absolute form of Budget; set automatically, and
 	// inherited by DS/MF sub-syntheses so nested searches share the same
 	// wall-clock budget.
@@ -70,6 +84,9 @@ type Options struct {
 }
 
 func (o Options) expired() bool {
+	if o.Ctx != nil && o.Ctx.Err() != nil {
+		return true
+	}
 	return !o.Deadline.IsZero() && time.Now().After(o.Deadline)
 }
 
@@ -131,6 +148,14 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 	}
 	if opt.Budget > 0 && opt.Deadline.IsZero() {
 		opt.Deadline = start.Add(opt.Budget)
+	}
+	if opt.Ctx != nil && opt.Encode.Limits.Interrupt == nil {
+		// Thread the context into every SAT call so cancellation reaches
+		// solves already in flight, not just the gaps between them.
+		opt.Encode.Limits.Interrupt = opt.Ctx.Done()
+	}
+	if opt.Portfolio {
+		opt.Encode.Portfolio = true
 	}
 	root := obsv.Start(opt.Tracer, opt.TraceParent, "Synthesize")
 	defer root.End()

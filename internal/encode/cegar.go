@@ -41,33 +41,29 @@ func SolveLMCegar(target, targetDual cube.Cover, g lattice.Grid, opt Options) (R
 	// CEGAR loop can afford more than the monolithic cap because it only
 	// materializes the entries it needs, but the path list itself must
 	// still fit).
-	type attempt struct {
-		cover cube.Cover
-		dual  bool
-	}
 	const maxCegarPaths = 200000
-	var attempts []attempt
+	var attempts []cegarAttempt
 	pw := g.CountPathsLimited(maxCegarPaths, false)
 	dw := g.CountPathsLimited(maxCegarPaths, true)
 	switch opt.Mode {
 	case PrimalOnly:
 		if pw <= maxCegarPaths {
-			attempts = []attempt{{target, false}}
+			attempts = []cegarAttempt{{target, false}}
 		}
 	case DualOnly:
 		if dw <= maxCegarPaths {
-			attempts = []attempt{{targetDual, true}}
+			attempts = []cegarAttempt{{targetDual, true}}
 		}
 	default:
 		if dw < pw {
-			attempts = append(attempts, attempt{targetDual, true})
+			attempts = append(attempts, cegarAttempt{targetDual, true})
 			if pw <= maxCegarPaths {
-				attempts = append(attempts, attempt{target, false})
+				attempts = append(attempts, cegarAttempt{target, false})
 			}
 		} else {
-			attempts = append(attempts, attempt{target, false})
+			attempts = append(attempts, cegarAttempt{target, false})
 			if dw <= maxCegarPaths {
-				attempts = append(attempts, attempt{targetDual, true})
+				attempts = append(attempts, cegarAttempt{targetDual, true})
 			}
 		}
 		kept := attempts[:0]
@@ -92,6 +88,10 @@ func SolveLMCegar(target, targetDual cube.Cover, g lattice.Grid, opt Options) (R
 		deadline = time.Now().Add(opt.Limits.Timeout)
 	}
 
+	if opt.Portfolio && len(attempts) == 2 {
+		return racePortfolio(attempts, target, targetTab, g, opt, deadline)
+	}
+
 	var res Result
 	sawUnknown := false
 	for _, a := range attempts {
@@ -111,6 +111,13 @@ func SolveLMCegar(target, targetDual cube.Cover, g lattice.Grid, opt Options) (R
 		res.Status = sat.Unknown
 	}
 	return res, nil
+}
+
+// cegarAttempt is one orientation of the CEGAR engine: the cover being
+// encoded (f for the primal structure, f^D for the dual) plus the flag.
+type cegarAttempt struct {
+	cover cube.Cover
+	dual  bool
 }
 
 // cegarOne runs the refinement loop for one orientation. enc is the cover
@@ -161,6 +168,15 @@ func cegarOne(enc, target cube.Cover, targetTab *truth.Table, g lattice.Grid,
 	}
 
 	for {
+		// Cooperative cancellation between solver calls: the solver checks
+		// the same channel inside its search loop, this check just keeps
+		// the refinement bookkeeping from starting another round.
+		select {
+		case <-opt.Limits.Interrupt:
+			res.Status = sat.Unknown
+			return res, nil
+		default:
+		}
 		// Hand only the new skeleton/entry clauses to the solver; the
 		// accumulated formula stays attached with its learnt clauses.
 		iterSpan := cand.Child("CegarIter")

@@ -70,6 +70,15 @@ type Options struct {
 	// CEGAR switches SolveLM to the counterexample-guided engine, which
 	// materializes truth-table entries lazily (see SolveLMCegar).
 	CEGAR bool
+	// Portfolio races the primal and dual CEGAR orientations of a
+	// candidate concurrently and cancels the loser as soon as either
+	// finds a satisfying assignment (a per-orientation refutation is not
+	// definitive — the heuristic degree constraints are approximate — so
+	// non-Sat verdicts wait for both sides, exactly like the sequential
+	// order does). Implies the CEGAR engine. The ROADMAP calls this
+	// portfolio solving; it replaces the sequential sparser-first order
+	// when the sparser orientation is the slower one.
+	Portfolio bool
 	// Limits bounds each SAT call.
 	Limits sat.Limits
 	// Span, when non-nil, is the parent trace span under which this LM
@@ -553,7 +562,7 @@ func SolveLM(target, targetDual cube.Cover, g lattice.Grid, opt Options) (Result
 	if target.N > MaxInputs {
 		return Result{}, ErrTooManyInputs
 	}
-	if opt.CEGAR {
+	if opt.CEGAR || opt.Portfolio {
 		sub := opt
 		sub.CEGAR = false
 		return SolveLMCegar(target, targetDual, g, sub)

@@ -21,6 +21,12 @@ var (
 	mCegarEntries  = obsv.Default.Counter("janus_encode_cegar_entries_total")
 	mClausesAdded  = obsv.Default.Counter("janus_encode_clauses_added_total")
 	mClausesRebld  = obsv.Default.Counter("janus_encode_clauses_rebuilt_total")
+	// Portfolio racing (Options.Portfolio): races run, wins by
+	// orientation, and losers cancelled through the interrupt channel.
+	mPortfolioRaces      = obsv.Default.Counter("janus_encode_portfolio_races_total")
+	mPortfolioPrimalWins = obsv.Default.Counter("janus_encode_portfolio_primal_wins_total")
+	mPortfolioDualWins   = obsv.Default.Counter("janus_encode_portfolio_dual_wins_total")
+	mPortfolioCancels    = obsv.Default.Counter("janus_encode_portfolio_cancels_total")
 	mSolves        = obsv.Default.Counter("janus_sat_solves_total")
 	mSolveNS       = obsv.Default.Counter("janus_sat_solve_ns_total")
 	mConflicts     = obsv.Default.Counter("janus_sat_conflicts_total")

@@ -1,0 +1,135 @@
+package encode
+
+import (
+	"time"
+
+	"github.com/lattice-tools/janus/internal/cube"
+	"github.com/lattice-tools/janus/internal/lattice"
+	"github.com/lattice-tools/janus/internal/sat"
+	"github.com/lattice-tools/janus/internal/truth"
+)
+
+// mergeInterrupt combines a caller-supplied interrupt channel with a
+// race-local stop channel. With no caller channel the stop channel is
+// used directly; otherwise a relay goroutine closes the merged channel
+// when either fires. racePortfolio always closes every stop channel
+// before returning, so the relay cannot leak.
+func mergeInterrupt(caller, stop <-chan struct{}) <-chan struct{} {
+	if caller == nil {
+		return stop
+	}
+	select {
+	case <-caller:
+		// Already cancelled: skip the relay so the engines see it
+		// synchronously instead of racing the relay goroutine's wakeup.
+		return caller
+	default:
+	}
+	out := make(chan struct{})
+	go func() {
+		select {
+		case <-caller:
+		case <-stop:
+		}
+		close(out)
+	}()
+	return out
+}
+
+// racePortfolio runs the two CEGAR orientations of one candidate grid
+// concurrently and returns as soon as either finds a satisfying
+// assignment, cancelling the other through the solver's interrupt
+// channel. Only Sat is a winning verdict: the paper's heuristic degree
+// constraints are approximate and can refute one orientation while the
+// other still has a solution (fig. 1 on 4×2 is Sat primal, Unsat dual),
+// which is exactly why the sequential engine also tries both
+// orientations on a non-Sat answer. Non-Sat outcomes are merged with the
+// sequential semantics — any Unknown degrades the verdict to Unknown,
+// otherwise both refutations make it Unsat.
+//
+// The caller still gets honest effort accounting: the losing
+// orientation's clause and iteration counters are folded into the
+// returned Result, so the search statistics reflect the work both
+// engines did rather than only the winner's share.
+func racePortfolio(attempts []cegarAttempt, target cube.Cover, targetTab *truth.Table,
+	g lattice.Grid, opt Options, deadline time.Time) (Result, error) {
+	mPortfolioRaces.Inc()
+	type outcome struct {
+		r   Result
+		err error
+		idx int
+	}
+	stops := make([]chan struct{}, len(attempts))
+	ch := make(chan outcome, len(attempts))
+	for i, a := range attempts {
+		stops[i] = make(chan struct{})
+		sub := opt
+		sub.Limits.Interrupt = mergeInterrupt(opt.Limits.Interrupt, stops[i])
+		go func(i int, a cegarAttempt, sub Options) {
+			r, err := cegarOne(a.cover, target, targetTab, g, a.dual, sub, deadline)
+			ch <- outcome{r: r, err: err, idx: i}
+		}(i, a, sub)
+	}
+
+	// Collect every outcome (the loser returns quickly once cancelled);
+	// the first Sat becomes the winner and stops the rest.
+	results := make([]outcome, len(attempts))
+	winner := -1
+	for n := 0; n < len(attempts); n++ {
+		o := <-ch
+		results[o.idx] = o
+		if winner < 0 && o.err == nil && o.r.Status == sat.Sat {
+			winner = o.idx
+			for j, st := range stops {
+				if j != o.idx {
+					close(st)
+					mPortfolioCancels.Inc()
+				}
+			}
+		}
+	}
+	for i, st := range stops {
+		if winner < 0 || i == winner {
+			close(st) // release the mergeInterrupt relays
+		}
+	}
+
+	if winner < 0 {
+		// No satisfying orientation: surface the first error, else merge
+		// the refutations with the sequential semantics.
+		for _, o := range results {
+			if o.err != nil {
+				return o.r, o.err
+			}
+		}
+		res := results[len(results)-1].r
+		for _, o := range results[:len(results)-1] {
+			foldEffort(&res, o.r)
+			if o.r.Status == sat.Unknown {
+				res.Status = sat.Unknown
+			}
+		}
+		return res, nil
+	}
+
+	res := results[winner].r
+	if res.UsedDual {
+		mPortfolioDualWins.Inc()
+	} else {
+		mPortfolioPrimalWins.Inc()
+	}
+	for i, o := range results {
+		if i != winner {
+			foldEffort(&res, o.r)
+		}
+	}
+	return res, nil
+}
+
+// foldEffort adds a losing orientation's work counters into the winning
+// Result so search-level statistics stay truthful under racing.
+func foldEffort(res *Result, loser Result) {
+	res.CegarIters += loser.CegarIters
+	res.AddedClauses += loser.AddedClauses
+	res.RebuiltClauses += loser.RebuiltClauses
+}

@@ -1,0 +1,88 @@
+package encode
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/lattice-tools/janus/internal/lattice"
+	"github.com/lattice-tools/janus/internal/minimize"
+	"github.com/lattice-tools/janus/internal/sat"
+)
+
+// TestPortfolioAgreesWithSequential pins the racing engine's soundness:
+// on random small LM problems the portfolio answer must match the
+// sequential CEGAR answer on satisfiability, and Sat answers must be
+// verified implementations of the target. Run under -race in CI, this is
+// also the data-race check for the two concurrent orientations sharing
+// the memo caches and the parent trace span.
+func TestPortfolioAgreesWithSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	grids := []lattice.Grid{{M: 2, N: 2}, {M: 3, N: 2}, {M: 3, N: 3}, {M: 4, N: 2}}
+	for trial := 0; trial < 15; trial++ {
+		raw := randomFunc(rng, 3, 3)
+		f := minimize.Auto(raw)
+		if f.IsZero() || f.IsOne() {
+			continue
+		}
+		d := minimize.Auto(f.Dual())
+		for _, g := range grids {
+			seq, err := SolveLMCegar(f, d, g, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			race, err := SolveLMCegar(f, d, g, Options{Portfolio: true})
+			if err != nil {
+				t.Fatalf("portfolio %v: %v", g, err)
+			}
+			if (seq.Status == sat.Sat) != (race.Status == sat.Sat) {
+				t.Fatalf("trial %d grid %v: sequential=%v portfolio=%v",
+					trial, g, seq.Status, race.Status)
+			}
+			if race.Status == sat.Sat && !race.Assignment.Realizes(f) {
+				t.Fatalf("trial %d grid %v: portfolio answer unverified", trial, g)
+			}
+		}
+	}
+}
+
+// TestPortfolioViaSolveLM checks the Options.Portfolio flag routes
+// through SolveLM (implying the CEGAR engine) and solves Fig. 1.
+func TestPortfolioViaSolveLM(t *testing.T) {
+	f, d := isopPair(fig1())
+	r, err := SolveLM(f, d, lattice.Grid{M: 4, N: 2}, Options{Portfolio: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != sat.Sat || !r.Assignment.Realizes(f) {
+		t.Fatalf("status = %v", r.Status)
+	}
+	r, err = SolveLM(f, d, lattice.Grid{M: 3, N: 3}, Options{Portfolio: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != sat.Unsat {
+		t.Fatalf("3x3 status = %v, want UNSAT", r.Status)
+	}
+}
+
+// TestPortfolioHonorsInterrupt: a caller-supplied interrupt must stop
+// both racing orientations promptly with an Unknown verdict.
+func TestPortfolioHonorsInterrupt(t *testing.T) {
+	f, d := isopPair(fig1())
+	stop := make(chan struct{})
+	close(stop)
+	opt := Options{Portfolio: true}
+	opt.Limits.Interrupt = stop
+	start := time.Now()
+	r, err := SolveLMCegar(f, d, lattice.Grid{M: 4, N: 2}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != sat.Unknown {
+		t.Fatalf("status = %v, want Unknown under pre-closed interrupt", r.Status)
+	}
+	if e := time.Since(start); e > 5*time.Second {
+		t.Fatalf("interrupted portfolio took %v", e)
+	}
+}

@@ -1,0 +1,158 @@
+package memo
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/lattice-tools/janus/internal/lattice"
+)
+
+// Disk persistence for the path-enumeration cache (the ROADMAP item
+// "persist memo contents across process runs"). Path enumeration is the
+// one memoized quantity that is both expensive to recompute — wide grids
+// take seconds of backtracking — and purely structural (it depends only
+// on the grid shape, never on a target function), so a snapshot from any
+// earlier run is valid forever. Truth tables and covers are cheap enough
+// to rebuild that persisting them would mostly ship bytes around.
+//
+// The format is a single JSON document: a version header plus one record
+// per cached (grid, orientation). Writers go through a temp file and an
+// atomic rename so a killed process can never leave a half-written
+// snapshot; readers treat any decode error as "no snapshot" and rebuild
+// from scratch.
+
+// pathSnapshotVersion guards the on-disk layout; bump it when the record
+// shape changes and old snapshots silently become cache misses.
+const pathSnapshotVersion = 1
+
+type pathSnapshot struct {
+	Version int             `json:"version"`
+	Grids   []gridPathsJSON `json:"grids"`
+}
+
+type gridPathsJSON struct {
+	M     int        `json:"m"`
+	N     int        `json:"n"`
+	Dual  bool       `json:"dual"`
+	Paths [][]uint16 `json:"paths"`
+}
+
+// snapshotEntries copies the cache contents (most recent first) under
+// the lock; values stay shared because cached paths are immutable.
+func (c *cache) snapshotEntries() []entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]entry, 0, c.order.Len())
+	for e := c.order.Front(); e != nil; e = e.Next() {
+		out = append(out, *e.Value.(*entry))
+	}
+	return out
+}
+
+// SavePaths writes a snapshot of the path-enumeration cache to w.
+func SavePaths(w io.Writer) error {
+	snap := pathSnapshot{Version: pathSnapshotVersion}
+	for _, ent := range pathCache.snapshotEntries() {
+		if len(ent.key) != 9 {
+			continue
+		}
+		m := int(binary.LittleEndian.Uint32([]byte(ent.key)[0:]))
+		n := int(binary.LittleEndian.Uint32([]byte(ent.key)[4:]))
+		rec := gridPathsJSON{M: m, N: n, Dual: ent.key[8] == 1}
+		for _, p := range ent.val.([]lattice.Path) {
+			rec.Paths = append(rec.Paths, p.Cells)
+		}
+		snap.Grids = append(snap.Grids, rec)
+	}
+	return json.NewEncoder(w).Encode(snap)
+}
+
+// LoadPaths reads a snapshot and inserts every structurally valid record
+// into the path cache, returning how many grid enumerations were loaded.
+// Records that fail validation (cells out of range, bad dimensions) are
+// skipped rather than poisoning the cache; a record for a grid already
+// cached is dropped by the cache's duplicate-insert rule.
+func LoadPaths(r io.Reader) (int, error) {
+	var snap pathSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return 0, fmt.Errorf("memo: decoding path snapshot: %w", err)
+	}
+	if snap.Version != pathSnapshotVersion {
+		return 0, fmt.Errorf("memo: path snapshot version %d, want %d",
+			snap.Version, pathSnapshotVersion)
+	}
+	loaded := 0
+	for _, rec := range snap.Grids {
+		if rec.M < 1 || rec.N < 1 || rec.M*rec.N > 4096 {
+			continue
+		}
+		g := lattice.Grid{M: rec.M, N: rec.N}
+		cells := g.Cells()
+		useMask := cells <= 64
+		ps := make([]lattice.Path, 0, len(rec.Paths))
+		cost := int64(1)
+		valid := true
+		for _, cs := range rec.Paths {
+			p := lattice.Path{Cells: cs}
+			for _, c := range cs {
+				if int(c) >= cells {
+					valid = false
+					break
+				}
+				if useMask {
+					p.Mask |= 1 << c
+				}
+			}
+			if !valid {
+				break
+			}
+			cost += int64(len(cs))
+			ps = append(ps, p)
+		}
+		if !valid || len(ps) == 0 {
+			continue
+		}
+		pathCache.put(gridKey(g, rec.Dual), ps, cost)
+		loaded++
+	}
+	return loaded, nil
+}
+
+// SavePathsFile writes the snapshot atomically: the document lands in a
+// temp file next to path and is renamed over it, so readers (and a
+// process killed mid-write) only ever see a complete snapshot.
+func SavePathsFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := SavePaths(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadPathsFile loads a snapshot file into the path cache. A missing
+// file is not an error (0, nil): a cold cache directory is the normal
+// first-run state.
+func LoadPathsFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	return LoadPaths(f)
+}

@@ -1,0 +1,162 @@
+package memo
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/lattice-tools/janus/internal/lattice"
+)
+
+// TestPathSnapshotRoundtrip: saving after warming the cache and loading
+// into a cold cache must make the warmed enumerations hits, not misses,
+// and the restored paths must be structurally identical (cells and mask).
+func TestPathSnapshotRoundtrip(t *testing.T) {
+	Reset()
+	defer Reset()
+	grids := []struct {
+		g    lattice.Grid
+		dual bool
+	}{
+		{lattice.Grid{M: 3, N: 3}, false},
+		{lattice.Grid{M: 3, N: 3}, true},
+		{lattice.Grid{M: 4, N: 2}, false},
+	}
+	want := make([][]lattice.Path, len(grids))
+	for i, gr := range grids {
+		want[i] = Paths(gr.g, gr.dual)
+	}
+
+	var buf bytes.Buffer
+	if err := SavePaths(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	Reset()
+	n, err := LoadPaths(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(grids) {
+		t.Fatalf("loaded %d grids, want %d", n, len(grids))
+	}
+	before := Snapshot()
+	for i, gr := range grids {
+		got := Paths(gr.g, gr.dual)
+		if len(got) != len(want[i]) {
+			t.Fatalf("grid %v dual=%v: %d paths, want %d",
+				gr.g, gr.dual, len(got), len(want[i]))
+		}
+		for j := range got {
+			if got[j].Mask != want[i][j].Mask {
+				t.Fatalf("grid %v dual=%v path %d: mask %x, want %x",
+					gr.g, gr.dual, j, got[j].Mask, want[i][j].Mask)
+			}
+			for k := range got[j].Cells {
+				if got[j].Cells[k] != want[i][j].Cells[k] {
+					t.Fatalf("grid %v dual=%v path %d cell %d differs",
+						gr.g, gr.dual, j, k)
+				}
+			}
+		}
+	}
+	delta := Snapshot().Sub(before)
+	if delta.PathMisses != 0 {
+		t.Fatalf("%d path misses after loading snapshot, want 0", delta.PathMisses)
+	}
+	if delta.PathHits != int64(len(grids)) {
+		t.Fatalf("%d path hits, want %d", delta.PathHits, len(grids))
+	}
+}
+
+// TestPathSnapshotFile exercises the file variants: save, load in a
+// "fresh process" (Reset), and confirm the atomic write left no temp
+// droppings behind.
+func TestPathSnapshotFile(t *testing.T) {
+	Reset()
+	defer Reset()
+	Paths(lattice.Grid{M: 4, N: 2}, false)
+
+	dir := t.TempDir()
+	file := filepath.Join(dir, "paths.json")
+	if err := SavePathsFile(file); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %q left behind", e.Name())
+		}
+	}
+
+	Reset()
+	n, err := LoadPathsFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("loaded %d grids, want 1", n)
+	}
+}
+
+// TestPathSnapshotMissingFile: a cold cache dir is the normal first-run
+// state, not an error.
+func TestPathSnapshotMissingFile(t *testing.T) {
+	n, err := LoadPathsFile(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil || n != 0 {
+		t.Fatalf("missing file: n=%d err=%v, want 0, nil", n, err)
+	}
+}
+
+// TestPathSnapshotCorrupt: truncated or garbage snapshots must fail the
+// load without touching the cache, and the cache must keep working.
+func TestPathSnapshotCorrupt(t *testing.T) {
+	Reset()
+	defer Reset()
+	for _, body := range []string{
+		"",
+		"{not json",
+		`{"version": 99, "grids": []}`,
+		`{"version": 1, "grids":`, // truncated mid-write (non-atomic writer)
+	} {
+		if _, err := LoadPaths(strings.NewReader(body)); err == nil {
+			t.Fatalf("LoadPaths(%q) succeeded, want error", body)
+		}
+	}
+	if h, _ := pathCache.counters(); h != 0 {
+		t.Fatal("corrupt loads must not touch the cache")
+	}
+	// Cache still functions after rejected loads.
+	if ps := Paths(lattice.Grid{M: 2, N: 2}, false); len(ps) == 0 {
+		t.Fatal("cache unusable after corrupt load")
+	}
+}
+
+// TestPathSnapshotRejectsBadRecords: records with out-of-range cells or
+// absurd dimensions are skipped, valid siblings still load.
+func TestPathSnapshotRejectsBadRecords(t *testing.T) {
+	Reset()
+	defer Reset()
+	doc := `{"version":1,"grids":[
+		{"m":2,"n":2,"dual":false,"paths":[[0,99]]},
+		{"m":0,"n":5,"dual":false,"paths":[[0]]},
+		{"m":1,"n":1,"dual":false,"paths":[[0]]}
+	]}`
+	n, err := LoadPaths(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("loaded %d records, want 1 (the valid 1x1)", n)
+	}
+	before := Snapshot()
+	Paths(lattice.Grid{M: 1, N: 1}, false)
+	if d := Snapshot().Sub(before); d.PathHits != 1 {
+		t.Fatal("valid record was not served from the loaded snapshot")
+	}
+}

@@ -1,0 +1,77 @@
+package sat
+
+import (
+	"testing"
+	"time"
+)
+
+// The tests use the pigeonhole helper from sat_test.go: PHP(n+1, n) is
+// unsatisfiable and exponentially hard for CDCL, so the solver cannot
+// finish early by deciding the instance — a good clock-discipline probe.
+
+// TestTimeoutOvershoot pins the deadline-stride fix: the clock must be
+// consulted every checkStride search steps regardless of the conflict
+// rate, so a Solve with a small Timeout returns close to it. The pre-fix
+// code only checked on conflict-count multiples of 256, which let
+// propagation-heavy stretches run far past the budget.
+func TestTimeoutOvershoot(t *testing.T) {
+	s := pigeonhole(12, 11)
+	const timeout = 50 * time.Millisecond
+	start := time.Now()
+	st := s.Solve(Limits{Timeout: timeout})
+	elapsed := time.Since(start)
+	if st != Unknown {
+		// PHP(12,11) proved within 50ms would be a miracle; treat any
+		// definitive answer as a broken budget.
+		t.Fatalf("Solve = %v, want Unknown under %v budget", st, timeout)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("Solve overshot its %v deadline by %v", timeout, elapsed-timeout)
+	}
+}
+
+// TestInterrupt exercises the cooperative cancellation channel: closing
+// Limits.Interrupt makes a running Solve return Unknown promptly, and a
+// pre-closed channel stops the call before any search.
+func TestInterrupt(t *testing.T) {
+	stop := make(chan struct{})
+	s := pigeonhole(12, 11)
+	done := make(chan Status, 1)
+	go func() { done <- s.Solve(Limits{Interrupt: stop}) }()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	select {
+	case st := <-done:
+		if st != Unknown {
+			t.Fatalf("interrupted Solve = %v, want Unknown", st)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Solve did not return after interrupt")
+	}
+
+	pre := make(chan struct{})
+	close(pre)
+	if st := s.Solve(Limits{Interrupt: pre}); st != Unknown {
+		t.Fatalf("pre-interrupted Solve = %v, want Unknown", st)
+	}
+}
+
+// TestSolveAfterInterrupt checks the solver stays usable: an interrupted
+// call leaves the clause database intact, so a follow-up unbounded Solve
+// on an easy instance still decides it.
+func TestSolveAfterInterrupt(t *testing.T) {
+	s := New(2)
+	s.AddClause(MkLit(0, false), MkLit(1, false))
+	s.AddClause(MkLit(0, true))
+	pre := make(chan struct{})
+	close(pre)
+	if st := s.Solve(Limits{Interrupt: pre}); st != Unknown {
+		t.Fatalf("pre-interrupted Solve = %v, want Unknown", st)
+	}
+	if st := s.Solve(Limits{}); st != Sat {
+		t.Fatalf("follow-up Solve = %v, want Sat", st)
+	}
+	if !s.Model(1) {
+		t.Fatal("model must set x1 (x0 is forced false)")
+	}
+}

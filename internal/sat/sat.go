@@ -73,6 +73,23 @@ func (s Status) String() string {
 type Limits struct {
 	MaxConflicts int64
 	Timeout      time.Duration
+	// Interrupt, when non-nil, cancels the search cooperatively: Solve
+	// returns Unknown shortly after the channel closes. The check shares
+	// the deadline's stride (checkStride search steps) plus every restart
+	// boundary, so cancellation latency is bounded by a few hundred
+	// propagate/decide rounds, not by conflict counts.
+	Interrupt <-chan struct{}
+}
+
+// stopped reports whether the limits ask the search to give up now:
+// either the interrupt channel is closed or the deadline has passed.
+func (lim Limits) stopped(deadline time.Time) bool {
+	select {
+	case <-lim.Interrupt:
+		return true
+	default:
+	}
+	return !deadline.IsZero() && time.Now().After(deadline)
 }
 
 // Stats reports search effort counters, cumulative over the solver's
@@ -743,6 +760,9 @@ func (s *Solver) solve(lim Limits) Status {
 	if lim.Timeout > 0 {
 		deadline = time.Now().Add(lim.Timeout)
 	}
+	if lim.stopped(deadline) {
+		return Unknown
+	}
 	restartN := int64(0)
 	for {
 		budget := luby(restartN) * 128
@@ -755,7 +775,9 @@ func (s *Solver) solve(lim Limits) Status {
 			s.backtrackTo(0)
 			return Unknown
 		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
+		// Restart boundary: re-check the deadline and the interrupt even
+		// when the conflict stride inside search never fired.
+		if lim.stopped(deadline) {
 			s.backtrackTo(0)
 			return Unknown
 		}
@@ -763,9 +785,25 @@ func (s *Solver) solve(lim Limits) Status {
 	}
 }
 
+// checkStride is how many search steps (propagate/decide or conflict
+// rounds) pass between deadline/interrupt checks. The pre-fix code keyed
+// the check on conflict counts alone (`conflicts%256 == 0` on the
+// no-conflict branch), so after the first conflict a low-conflict,
+// high-propagation instance would not look at the clock again until 256
+// conflicts accumulated — far past Limits.Timeout on instances whose
+// time goes into propagation. Counting every loop iteration bounds the
+// overshoot by the stride regardless of the conflict rate.
+const checkStride = 256
+
 func (s *Solver) search(budget int64, lim Limits, deadline time.Time) Status {
 	conflicts := int64(0)
+	steps := int64(0)
 	for {
+		steps++
+		if steps%checkStride == 0 && lim.stopped(deadline) {
+			s.backtrackTo(0)
+			return Unknown
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.stats.Conflicts++
@@ -802,10 +840,6 @@ func (s *Solver) search(budget int64, lim Limits, deadline time.Time) Status {
 			return Unknown
 		}
 		if lim.MaxConflicts > 0 && s.stats.Conflicts >= lim.MaxConflicts {
-			s.backtrackTo(0)
-			return Unknown
-		}
-		if conflicts%256 == 0 && !deadline.IsZero() && time.Now().After(deadline) {
 			s.backtrackTo(0)
 			return Unknown
 		}

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func doneOutcome(size int) *outcome {
+	return &outcome{Status: StatusDone, Result: &ResultJSON{M: size, N: 1, Size: size}}
+}
+
+func TestMemCacheLRU(t *testing.T) {
+	c := newMemCache(2)
+	c.put("a", doneOutcome(1))
+	c.put("b", doneOutcome(2))
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	c.put("c", doneOutcome(3)) // evicts b (a was touched)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a lost")
+	}
+	if out, ok := c.get("c"); !ok || out.Result.Size != 3 {
+		t.Fatal("c lost")
+	}
+}
+
+func TestDiskCacheRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := openDiskCache(dir, 16, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.put("k1", doneOutcome(8))
+	out, ok := c.get("k1")
+	if !ok || out.Result.Size != 8 {
+		t.Fatalf("roundtrip: ok=%v out=%+v", ok, out)
+	}
+	// Non-done outcomes are never persisted.
+	c.put("k2", &outcome{Status: StatusCanceled})
+	if _, ok := c.get("k2"); ok {
+		t.Fatal("canceled outcome persisted")
+	}
+
+	// A second open (a "restart") sees the entry.
+	c2, err := openDiskCache(dir, 16, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, ok := c2.get("k1"); !ok || out.Result.Size != 8 {
+		t.Fatal("entry lost across reopen")
+	}
+	// No temp files left behind by the atomic writer.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Fatalf("temp file %q left behind", e.Name())
+		}
+	}
+}
+
+// TestDiskCacheCorruptRecovery: a torn or hand-edited entry is detected,
+// counted, deleted, and treated as a miss — and the slot is reusable.
+func TestDiskCacheCorruptRecovery(t *testing.T) {
+	dir := t.TempDir()
+	c, err := openDiskCache(dir, 16, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.put("k1", doneOutcome(8))
+	if err := os.WriteFile(filepath.Join(dir, "k1.json"), []byte(`{"status":"done","res`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := mDiskCorrupt.Value()
+	if _, ok := c.get("k1"); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if mDiskCorrupt.Value() != before+1 {
+		t.Fatal("corruption not counted")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "k1.json")); !os.IsNotExist(err) {
+		t.Fatalf("corrupt file not removed: %v", err)
+	}
+	// Same key works again after the bad entry is purged.
+	c.put("k1", doneOutcome(9))
+	if out, ok := c.get("k1"); !ok || out.Result.Size != 9 {
+		t.Fatal("slot unusable after corruption recovery")
+	}
+}
+
+// TestDiskCacheEntryBound: the entry budget evicts the least recently
+// used files, both on write and when reopening an over-full directory.
+func TestDiskCacheEntryBound(t *testing.T) {
+	dir := t.TempDir()
+	c, err := openDiskCache(dir, 2, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.put("k1", doneOutcome(1))
+	c.put("k2", doneOutcome(2))
+	c.get("k1") // touch: k2 is now LRU
+	c.put("k3", doneOutcome(3))
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if _, ok := c.get("k2"); ok {
+		t.Fatal("k2 should have been evicted")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "k2.json")); !os.IsNotExist(err) {
+		t.Fatal("evicted entry's file not deleted")
+	}
+
+	// Reopen with a tighter bound: the open prunes down to budget.
+	c2, err := openDiskCache(dir, 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.len() != 1 {
+		t.Fatalf("reopened len = %d, want 1", c2.len())
+	}
+}
+
+// TestDiskCacheByteBound: the byte budget holds even when the entry
+// budget has room.
+func TestDiskCacheByteBound(t *testing.T) {
+	dir := t.TempDir()
+	one, err := openDiskCache(dir, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every real entry exceeds one byte, so each put evicts its
+	// predecessor; only the newest survives.
+	one.put("k1", doneOutcome(1))
+	time.Sleep(2 * time.Millisecond) // distinct mtimes for the reopen order
+	one.put("k2", doneOutcome(2))
+	if one.len() != 1 {
+		t.Fatalf("len = %d, want 1 under a 1-byte budget", one.len())
+	}
+	if _, ok := one.get("k2"); !ok {
+		t.Fatal("newest entry must survive the byte budget")
+	}
+}

@@ -1,0 +1,119 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a minimal janusd API client (cmd/janusload and embedders).
+// The zero HTTPClient uses http.DefaultClient; synthesis waits are
+// bounded server-side, so callers should not set short client timeouts.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://localhost:7151".
+	BaseURL string
+	// HTTPClient overrides the transport; nil uses http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// APIError reports a non-2xx API answer, preserving the code so
+// callers can react to backpressure (429) and drain (503) distinctly.
+type APIError struct {
+	Code       int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("janusd: %d: %s", e.Code, e.Message)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, into any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		se := &APIError{Code: resp.StatusCode}
+		var r Response
+		if json.Unmarshal(data, &r) == nil && r.Error != "" {
+			se.Message = r.Error
+		} else {
+			se.Message = strings.TrimSpace(string(data))
+		}
+		if ra, err := time.ParseDuration(resp.Header.Get("Retry-After") + "s"); err == nil {
+			se.RetryAfter = ra
+		}
+		return se
+	}
+	if into == nil {
+		return nil
+	}
+	return json.Unmarshal(data, into)
+}
+
+// Synthesize submits a request and waits for the response (which may be
+// a 202-style poll handle when the request was async or timed out; check
+// Status).
+func (c *Client) Synthesize(ctx context.Context, req Request) (*Response, error) {
+	var resp Response
+	if err := c.do(ctx, http.MethodPost, "/v1/synthesize", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Job polls a job by id.
+func (c *Client) Job(ctx context.Context, id string) (*Response, error) {
+	var resp Response
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health reads /healthz (an error with Code 503 means draining).
+func (c *Client) Health(ctx context.Context) (*Stats, error) {
+	var st Stats
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

@@ -1,0 +1,102 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"github.com/lattice-tools/janus/internal/obsv"
+)
+
+// maxBodyBytes bounds request payloads; PLA texts the engine can handle
+// are far below this.
+const maxBodyBytes = 1 << 20
+
+// waitGrace is added to the handler's wait beyond the job deadline, so a
+// budget-bounded synthesis gets to publish its incumbent before the
+// waiter gives up and falls back to a poll response.
+const waitGrace = 250 * time.Millisecond
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/synthesize   run (or join, or answer from cache) a synthesis
+//	GET  /v1/jobs/{id}    poll a job
+//	GET  /healthz         queue health; 503 while draining
+//	/metrics, /debug/…    the obsv debug surface, for single-port setups
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("/metrics", obsv.DebugHandler(nil))
+	mux.Handle("/debug/", obsv.DebugHandler(nil))
+	return mux
+}
+
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Bound the wait to the request budget (plus grace) so an abandoned
+	// connection is the only way to give up earlier than the job does.
+	p, err := parseRequest(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(),
+		p.timeout(s.cfg.DefaultTimeout, s.cfg.MaxTimeout)+waitGrace)
+	defer cancel()
+	resp, err := s.Synthesize(ctx, req)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrBusy):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	code := http.StatusOK
+	if resp.Status == StatusQueued || resp.Status == StatusRunning {
+		code = http.StatusAccepted // poll GET /v1/jobs/{id}
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	resp, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	code := http.StatusOK
+	if st.Draining {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, st)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is not actionable
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, Response{Status: StatusError, Error: msg})
+}

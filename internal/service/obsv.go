@@ -1,0 +1,23 @@
+package service
+
+import "github.com/lattice-tools/janus/internal/obsv"
+
+// Service metrics, in the process-wide registry next to the synthesis
+// pipeline's own (janus_core_*, janus_sat_*, …) so one /metrics scrape
+// shows queue health and solver effort side by side.
+var (
+	mRequests    = obsv.Default.Counter("janus_service_requests_total")
+	mCoalesced   = obsv.Default.Counter("janus_service_coalesced_total")
+	mMemHits     = obsv.Default.Counter("janus_service_cache_mem_hits")
+	mDiskHits    = obsv.Default.Counter("janus_service_cache_disk_hits")
+	mCacheMiss   = obsv.Default.Counter("janus_service_cache_misses")
+	mQueueFull   = obsv.Default.Counter("janus_service_queue_full_total")
+	mCanceled    = obsv.Default.Counter("janus_service_canceled_total")
+	mJobsDone    = obsv.Default.Counter("janus_service_jobs_done_total")
+	mJobErrors   = obsv.Default.Counter("janus_service_job_errors_total")
+	mDiskCorrupt = obsv.Default.Counter("janus_service_disk_corrupt_total")
+	gQueueDepth  = obsv.Default.Gauge("janus_service_queue_depth")
+	gRunning     = obsv.Default.Gauge("janus_service_running_jobs")
+	gMemoLoaded  = obsv.Default.Gauge("janus_service_memo_paths_loaded")
+	hRequestNS   = obsv.Default.Histogram("janus_service_request_ns")
+)

@@ -1,0 +1,438 @@
+// Package service implements janusd's synthesis service: a bounded job
+// queue in front of core.Synthesize with request coalescing and a
+// two-tier result cache.
+//
+// Synthesis calls are seconds-to-hours long, so the service treats them
+// like batch jobs rather than RPCs: requests are canonicalized (the same
+// function asked two ways is the same job), identical in-flight requests
+// coalesce onto one synthesis, accepted jobs run on a fixed worker pool
+// with per-request deadlines threaded into the SAT solver's interrupt
+// channel, and a full queue pushes back with 429 instead of buffering
+// unboundedly. Finished answers land in an in-memory LRU and, when a
+// cache directory is configured, in an on-disk store that survives
+// restarts — along with a snapshot of the process-wide path-enumeration
+// memo, so a warm daemon skips both the search and the path enumeration
+// it would need to redo.
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/lattice-tools/janus/internal/core"
+	"github.com/lattice-tools/janus/internal/cube"
+	"github.com/lattice-tools/janus/internal/memo"
+)
+
+// Config sizes the service. The zero value is usable: two workers, a
+// 64-deep queue, 256 cached results in memory, no disk tier.
+type Config struct {
+	// Workers is the number of concurrent syntheses (default 2).
+	Workers int
+	// QueueDepth bounds the accepted-but-not-running backlog; a full
+	// queue rejects with 429 (default 64).
+	QueueDepth int
+	// MemEntries bounds the in-memory result LRU (default 256).
+	MemEntries int
+	// CacheDir, when set, roots the persistent tier: results/ holds one
+	// JSON file per canonical request, paths.json the memo snapshot.
+	CacheDir string
+	// DiskEntries / DiskBytes bound the results/ store (defaults 4096
+	// entries, 64 MiB).
+	DiskEntries int
+	DiskBytes   int64
+	// DefaultTimeout applies to requests without timeout_ms (default 5m);
+	// MaxTimeout caps every request (default 1h).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// SynthWorkers is core.Options.Workers for each job: intra-synthesis
+	// candidate parallelism, on top of the job-level pool (default 1).
+	SynthWorkers int
+}
+
+func (c *Config) fill() {
+	if c.Workers < 1 {
+		c.Workers = 2
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.MemEntries < 1 {
+		c.MemEntries = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = time.Hour
+	}
+}
+
+// retainJobs bounds how many finished jobs stay pollable by id.
+const retainJobs = 1024
+
+// Server is the synthesis service. Create with NewServer, serve its
+// Handler, stop with Shutdown.
+type Server struct {
+	cfg      Config
+	mem      *memCache
+	disk     *diskCache // nil without CacheDir
+	memoPath string     // "" without CacheDir
+
+	// baseCtx parents every job context; baseCancel is the hard-stop
+	// lever Shutdown pulls when its own context expires.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu        sync.Mutex
+	draining  bool
+	queue     chan *job
+	inflight  map[string]*job // queued or running, by canonical key
+	jobs      map[string]*job // by id, finished jobs retained
+	doneOrder []string        // finished ids, oldest first
+	seq       uint64
+	nonce     string
+
+	wg sync.WaitGroup
+
+	// synth runs one synthesis; tests replace it to count and stall.
+	synth func(f cube.Cover, opt core.Options) (core.Result, error)
+}
+
+// job is one synthesis admitted to the queue. Mutable fields (status,
+// out, waiters, async) are guarded by the server mutex; done closes when
+// the job reaches a terminal status.
+type job struct {
+	id       string
+	key      string
+	p        *parsedRequest
+	deadline time.Time
+	ctx      context.Context
+	cancel   context.CancelFunc
+	waiters  int
+	async    bool
+	status   string
+	out      *outcome
+	done     chan struct{}
+}
+
+// NewServer builds the service, loads the persistent tier (results and
+// the memo path snapshot), and starts the worker pool.
+func NewServer(cfg Config) (*Server, error) {
+	cfg.fill()
+	s := &Server{
+		cfg:      cfg,
+		mem:      newMemCache(cfg.MemEntries),
+		queue:    make(chan *job, cfg.QueueDepth),
+		inflight: make(map[string]*job),
+		jobs:     make(map[string]*job),
+		synth:    core.Synthesize,
+	}
+	var nonce [4]byte
+	rand.Read(nonce[:]) //nolint:errcheck // crypto/rand never fails on supported platforms
+	s.nonce = hex.EncodeToString(nonce[:])
+	if cfg.CacheDir != "" {
+		disk, err := openDiskCache(filepath.Join(cfg.CacheDir, "results"),
+			cfg.DiskEntries, cfg.DiskBytes)
+		if err != nil {
+			return nil, fmt.Errorf("service: opening result cache: %w", err)
+		}
+		s.disk = disk
+		s.memoPath = filepath.Join(cfg.CacheDir, "paths.json")
+		n, err := memo.LoadPathsFile(s.memoPath)
+		if err != nil {
+			// A bad snapshot only costs re-enumeration; never fail startup
+			// over it. The atomic writer makes this path unlikely.
+			n = 0
+		}
+		gMemoLoaded.Set(int64(n))
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Errors the HTTP layer maps to status codes.
+var (
+	// ErrBusy: the queue is full; retry later (429).
+	ErrBusy = fmt.Errorf("service: queue full")
+	// ErrDraining: the server is shutting down (503).
+	ErrDraining = fmt.Errorf("service: draining")
+)
+
+// Synthesize is the embedded-use entry point (the HTTP handler and the
+// Client both end up here): it resolves the request against the caches,
+// coalesces with an identical in-flight job or enqueues a new one, and
+// waits for the outcome or ctx. A ctx that ends first abandons the job
+// (which is cancelled once no waiter remains, unless async) and returns
+// the job's current state so the caller can poll later.
+func (s *Server) Synthesize(ctx context.Context, req Request) (*Response, error) {
+	start := time.Now()
+	mRequests.Inc()
+	p, err := parseRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	if out, where, ok := s.cached(p.key); ok {
+		hRequestNS.Observe(int64(time.Since(start)))
+		return respond(out, "", where), nil
+	}
+	j, coalesced, err := s.admit(p)
+	if err != nil {
+		return nil, err
+	}
+	if req.Async {
+		s.mu.Lock()
+		resp := &Response{JobID: j.id, Status: j.status}
+		s.mu.Unlock()
+		return resp, nil
+	}
+	defer func() { hRequestNS.Observe(int64(time.Since(start))) }()
+	cached := ""
+	if coalesced {
+		cached = "coalesced"
+	}
+	select {
+	case <-j.done:
+		return respond(j.out, j.id, cached), nil
+	case <-ctx.Done():
+		s.abandon(j)
+		s.mu.Lock()
+		resp := &Response{JobID: j.id, Status: j.status}
+		s.mu.Unlock()
+		return resp, nil
+	}
+}
+
+// cached resolves a key against the memory tier and then the disk tier,
+// promoting disk hits into memory.
+func (s *Server) cached(key string) (*outcome, string, bool) {
+	if out, ok := s.mem.get(key); ok {
+		mMemHits.Inc()
+		return out, "mem", true
+	}
+	if out, ok := s.disk.get(key); ok {
+		mDiskHits.Inc()
+		s.mem.put(key, out)
+		return out, "disk", true
+	}
+	mCacheMiss.Inc()
+	return nil, "", false
+}
+
+// admit coalesces the request onto an identical in-flight job or
+// enqueues a new one, all under the mutex so admission cannot race
+// Shutdown's queue close.
+func (s *Server) admit(p *parsedRequest) (*job, bool, error) {
+	timeout := p.timeout(s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false, ErrDraining
+	}
+	if j, ok := s.inflight[p.key]; ok {
+		j.waiters++
+		if p.req.Async {
+			j.async = true
+		}
+		mCoalesced.Inc()
+		return j, true, nil
+	}
+	s.seq++
+	j := &job{
+		id:       fmt.Sprintf("j%s-%d", s.nonce, s.seq),
+		key:      p.key,
+		p:        p,
+		deadline: time.Now().Add(timeout),
+		waiters:  1,
+		async:    p.req.Async,
+		status:   StatusQueued,
+		done:     make(chan struct{}),
+	}
+	// The job deadline covers queue wait plus synthesis and holds even
+	// after every waiter is gone, so async jobs cannot run forever.
+	j.ctx, j.cancel = context.WithDeadline(s.baseCtx, j.deadline)
+	select {
+	case s.queue <- j:
+	default:
+		j.cancel()
+		mQueueFull.Inc()
+		return nil, false, ErrBusy
+	}
+	gQueueDepth.Set(int64(len(s.queue)))
+	s.inflight[p.key] = j
+	s.jobs[j.id] = j
+	return j, false, nil
+}
+
+// abandon drops one waiter; when the last synchronous waiter leaves a
+// still-unfinished, non-async job, its context is cancelled so the
+// worker slot (or queue slot) frees promptly instead of burning the full
+// deadline on an answer nobody is waiting for.
+func (s *Server) abandon(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.waiters > 0 {
+		j.waiters--
+	}
+	if j.waiters == 0 && !j.async && j.out == nil {
+		j.cancel()
+	}
+}
+
+// Job returns the state of a job by id (GET /v1/jobs/{id}).
+func (s *Server) Job(id string) (*Response, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	if j.out != nil {
+		return respond(j.out, j.id, ""), true
+	}
+	return &Response{JobID: j.id, Status: j.status}, true
+}
+
+// respond wraps an immutable outcome in a per-request Response.
+func respond(out *outcome, id, cached string) *Response {
+	return &Response{
+		JobID: id, Status: out.Status, Cached: cached,
+		Error: out.Error, Result: out.Result,
+	}
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		gQueueDepth.Set(int64(len(s.queue)))
+		s.run(j)
+	}
+}
+
+// run executes one job: skip it when already cancelled in the queue,
+// otherwise synthesize under the job context and publish the outcome.
+func (s *Server) run(j *job) {
+	s.mu.Lock()
+	if j.ctx.Err() == context.Canceled {
+		s.finishLocked(j, &outcome{Status: StatusCanceled, Error: "canceled while queued"})
+		s.mu.Unlock()
+		return
+	}
+	j.status = StatusRunning
+	s.mu.Unlock()
+
+	gRunning.Add(1)
+	opt := j.p.coreOptions()
+	opt.Ctx = j.ctx
+	opt.Workers = s.cfg.SynthWorkers
+	opt.Deadline = j.deadline
+	res, err := s.synth(j.p.cover, opt)
+	gRunning.Add(-1)
+	ctxErr := j.ctx.Err() // read before cancel() makes it context.Canceled
+	j.cancel()            // release the deadline timer
+
+	var out *outcome
+	switch {
+	case err != nil:
+		mJobErrors.Inc()
+		out = &outcome{Status: StatusError, Error: err.Error()}
+	case ctxErr == context.Canceled:
+		// Abandoned mid-run: the incumbent is real but under-budget, and
+		// nobody is waiting. Don't let it into the caches as the answer.
+		mCanceled.Inc()
+		out = &outcome{Status: StatusCanceled, Error: "canceled"}
+	default:
+		// Deadline expiry is not an error: the search returns its best
+		// verified incumbent, which is the agreed answer for this budget
+		// (timeout_ms is part of the cache key).
+		mJobsDone.Inc()
+		out = &outcome{Status: StatusDone, Result: renderResult(res, j.p.names)}
+		s.mem.put(j.key, out)
+		s.disk.put(j.key, out)
+	}
+	s.mu.Lock()
+	s.finishLocked(j, out)
+	s.mu.Unlock()
+}
+
+// finishLocked publishes a terminal outcome: the key frees for new
+// submissions, waiters wake, and the job stays pollable within the
+// retention window.
+func (s *Server) finishLocked(j *job, out *outcome) {
+	j.out = out
+	j.status = out.Status
+	delete(s.inflight, j.key)
+	s.doneOrder = append(s.doneOrder, j.id)
+	for len(s.doneOrder) > retainJobs {
+		delete(s.jobs, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
+	close(j.done)
+}
+
+// Stats is the /healthz body.
+type Stats struct {
+	Draining    bool  `json:"draining"`
+	QueueDepth  int   `json:"queue_depth"`
+	Workers     int   `json:"workers"`
+	DiskEntries int   `json:"disk_entries"`
+	MemoLoaded  int64 `json:"memo_paths_loaded"`
+}
+
+// Stats reports queue health.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	draining := s.draining
+	depth := len(s.queue)
+	s.mu.Unlock()
+	return Stats{
+		Draining: draining, QueueDepth: depth, Workers: s.cfg.Workers,
+		DiskEntries: s.disk.len(), MemoLoaded: gMemoLoaded.Value(),
+	}
+}
+
+// Shutdown stops admission, drains the queue (accepted jobs finish), and
+// persists the memo path snapshot. If ctx ends first, in-flight
+// syntheses are cancelled cooperatively and Shutdown returns once they
+// unwind. Safe to call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.baseCancel() // hard stop: interrupt running solvers
+		<-drained
+	}
+	s.baseCancel()
+	if s.memoPath != "" {
+		if serr := memo.SavePathsFile(s.memoPath); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return err
+}

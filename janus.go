@@ -37,6 +37,7 @@ import (
 	"github.com/lattice-tools/janus/internal/obsv"
 	"github.com/lattice-tools/janus/internal/pla"
 	"github.com/lattice-tools/janus/internal/sat"
+	"github.com/lattice-tools/janus/internal/service"
 )
 
 // Core value types.
@@ -83,7 +84,29 @@ type (
 	// MetricsSnapshot is a point-in-time copy of the process-wide metrics
 	// registry (janus_* counters, gauges, and histograms).
 	MetricsSnapshot = obsv.Snapshot
+	// Server is the janusd synthesis service: a job queue with request
+	// coalescing and a persistent result cache in front of Synthesize.
+	Server = service.Server
+	// ServiceConfig sizes a Server (workers, queue depth, cache tiers).
+	ServiceConfig = service.Config
+	// ServiceRequest is the POST /v1/synthesize payload.
+	ServiceRequest = service.Request
+	// ServiceResponse is the wire form of a job's state.
+	ServiceResponse = service.Response
+	// ServiceStats is the /healthz body.
+	ServiceStats = service.Stats
+	// Client talks to a running janusd.
+	Client = service.Client
+	// APIError is a non-2xx janusd answer, carrying the HTTP code.
+	APIError = service.APIError
 )
+
+// NewServer builds the synthesis service and starts its worker pool;
+// serve its Handler and stop it with Shutdown.
+func NewServer(cfg ServiceConfig) (*Server, error) { return service.NewServer(cfg) }
+
+// NewClient returns a janusd API client for the daemon at baseURL.
+func NewClient(baseURL string) *Client { return service.NewClient(baseURL) }
 
 // NewTracer starts a JSONL span tracer writing to w. The caller owns w;
 // check Err after the run for deferred write failures.

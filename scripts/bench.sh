@@ -18,13 +18,23 @@
 # wall times measured at the growth seed (commit 857da60), so the
 # incremental engine's speedup stays visible without checking out the old
 # tree: compare them against the BenchmarkCegarEngine ns_per_op values.
+#
+# A "service_load" block is appended from a cmd/janusload run against a
+# freshly started janusd (48 requests cycling 4 functions): rps, latency
+# percentiles, and the fresh/coalesced/cached answer composition.
 set -eu
 
 out=${1:-BENCH_janus.json}
 cd "$(dirname "$0")/.."
 
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+svcdir=$(mktemp -d)
+svcpid=""
+cleanup() {
+    [ -n "$svcpid" ] && kill "$svcpid" 2>/dev/null || true
+    rm -rf "$raw" "$svcdir"
+}
+trap cleanup EXIT
 
 go test -run '^$' \
   -bench 'BenchmarkAblationEncoding|BenchmarkTableIIJanus|BenchmarkCegarEngine' \
@@ -59,5 +69,21 @@ END {
     print "  }"
     print "}"
 }' "$raw" > "$out"
+
+# Service throughput: run a warm-cache workload through a local janusd
+# and fold the janusload JSON report into the document.
+go build -o "$svcdir" ./cmd/janusd ./cmd/janusload
+"$svcdir/janusd" -addr localhost:7163 -cache-dir "$svcdir/cache" -workers 2 &
+svcpid=$!
+sleep 1
+svcjson=$("$svcdir/janusload" -addr http://localhost:7163 \
+    -n 48 -c 8 -distinct 4 -timeout-ms 60000 -json)
+kill -TERM "$svcpid" && wait "$svcpid" || true
+svcpid=""
+merged=$(mktemp)
+awk -v svc="$svcjson" '
+/^}$/ { print "  ,"; print "  \"service_load\": " svc; print "}"; next }
+{ print }
+' "$out" > "$merged" && mv "$merged" "$out"
 
 echo "wrote $out"
