@@ -344,6 +344,45 @@ func BenchmarkCegarEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkSharedSearch compares the whole dichotomic search with fresh
+// per-candidate CEGAR solvers against the shared assumption-based
+// solver. "stamped-clauses" is the clause volume actually built in
+// shared mode; compare it against the fresh run's "added-clauses" to
+// see how much construction the activation-literal reuse avoids, and
+// the ns/op columns for the wall-clock effect.
+func BenchmarkSharedSearch(b *testing.B) {
+	insts := []string{"dc1_02", "b12_03", "mp2d_06", "misex1_04"}
+	for _, name := range insts {
+		f, _ := benchdata.Lookup(name).Function()
+		for _, shared := range []bool{false, true} {
+			mode := "fresh"
+			if shared {
+				mode = "shared"
+			}
+			b.Run(name+"/"+mode, func(b *testing.B) {
+				var r core.Result
+				opt := core.Options{SharedSolver: shared}
+				opt.Encode.CEGAR = true
+				opt.Encode.Limits = benchLimits()
+				for i := 0; i < b.N; i++ {
+					var err error
+					r, err = core.Synthesize(f, opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(r.Size), "switches")
+				b.ReportMetric(float64(r.ClausesAdded), "clauses-added")
+				if shared {
+					b.ReportMetric(float64(r.StampedClauses), "stamped-clauses")
+					b.ReportMetric(float64(r.SharedReused), "solver-reuses")
+					b.ReportMetric(float64(r.TransferredCEX), "cex-transferred")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkAblationBounds compares the dichotomic search with and without
 // the improved initial bounds (the paper's oub-vs-nub ablation).
 func BenchmarkAblationBounds(b *testing.B) {

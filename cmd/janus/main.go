@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	janus [-o N] [-multi] [-cegar] [-portfolio] [-conflicts N] [-timeout D]
-//	      [-v] [-trace FILE] [-debug-addr ADDR] [file.pla]
+//	janus [-o N] [-multi] [-cegar] [-portfolio] [-shared] [-conflicts N]
+//	      [-timeout D] [-v] [-trace FILE] [-debug-addr ADDR] [file.pla]
 //
 // Without -multi each selected output is synthesized on its own lattice;
 // with -multi all outputs are packed onto a single lattice with JANUS-MF.
@@ -28,6 +28,7 @@ func main() {
 		multi     = flag.Bool("multi", false, "realize all outputs on a single lattice (JANUS-MF)")
 		cegar     = flag.Bool("cegar", false, "use the CEGAR LM engine")
 		portfolio = flag.Bool("portfolio", false, "race the primal and dual orientations of each candidate lattice (implies -cegar)")
+		shared    = flag.Bool("shared", false, "share one assumption-based solver per orientation across the whole search (implies -cegar)")
 		conflicts = flag.Int64("conflicts", 0, "SAT conflict budget per LM call (0 = unlimited)")
 		timeout   = flag.Duration("timeout", 0, "SAT time budget per LM call (0 = unlimited)")
 		verbose   = flag.Bool("v", false, "print bounds and search statistics")
@@ -55,6 +56,7 @@ func main() {
 	opt.Encode.Limits = janus.SATLimits{MaxConflicts: *conflicts, Timeout: *timeout}
 	opt.Encode.CEGAR = *cegar
 	opt.Portfolio = *portfolio
+	opt.SharedSolver = *shared
 
 	if *debugAddr != "" {
 		ln, err := janus.ServeDebug(*debugAddr)
@@ -107,6 +109,10 @@ func main() {
 			fmt.Printf("  lb=%d oub=%d nub=%d (%s)  LM solved=%d  elapsed=%v  matched-lb=%v\n",
 				res.LB, res.OUB, res.NUB, res.UBMethod, res.LMSolved,
 				res.Elapsed.Round(time.Millisecond), res.MatchedLB)
+			if *shared {
+				fmt.Printf("  shared: reused=%d stamped=%d cex-transferred=%d\n",
+					res.SharedReused, res.StampedClauses, res.TransferredCEX)
+			}
 		}
 		fmt.Println(indent(res.Assignment.Format(p.InputNames), "  "))
 		if *svgPath != "" {

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/lattice-tools/janus"
+)
+
+// TestSubmitWithRetry covers the load generator's backpressure path
+// against malformed Retry-After headers: a 429 whose header the client
+// cannot parse must fall back to the 200ms pacing default instead of
+// hot-looping (the old client mis-parsed "2m" as 2ms) — and the retry
+// count must reflect every 429 seen before the answer.
+func TestSubmitWithRetry(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch hits.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "2m") // malformed per RFC 7231
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+		case 2:
+			// No header at all: also the fallback path.
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"status":"done","result":{"m":4,"n":2,"size":8}}`)) //nolint:errcheck
+		}
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	resp, retries, err := submitWithRetry(janus.NewClient(ts.URL),
+		janus.ServiceRequest{PLA: ".i 1\n.o 1\n1 1\n.e\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retries != 2 {
+		t.Fatalf("retries = %d, want 2", retries)
+	}
+	if resp.Status != "done" || resp.Result == nil || resp.Result.Size != 8 {
+		t.Fatalf("unexpected response: %+v", resp)
+	}
+	// Two fallback sleeps of 200ms each: the malformed header must not
+	// collapse the pacing to milliseconds.
+	if elapsed := time.Since(start); elapsed < 400*time.Millisecond {
+		t.Fatalf("retry pacing too fast (%v): malformed Retry-After not handled", elapsed)
+	}
+}
+
+// TestSubmitWithRetryGivesUp: non-429 errors surface immediately.
+func TestSubmitWithRetryGivesUp(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	_, retries, err := submitWithRetry(janus.NewClient(ts.URL),
+		janus.ServiceRequest{PLA: ".i 1\n.o 1\n1 1\n.e\n"})
+	if err == nil || retries != 0 {
+		t.Fatalf("err = %v retries = %d, want immediate failure", err, retries)
+	}
+}

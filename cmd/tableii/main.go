@@ -6,7 +6,7 @@
 // Usage:
 //
 //	tableii [-run regexp] [-methods janus,exact,approx,heur] \
-//	        [-conflicts N] [-timeout D]
+//	        [-conflicts N] [-timeout D] [-cegar] [-shared]
 //
 // The original MCNC instances are replaced by deterministic synthetic
 // stand-ins with the same (#in, #pi, δ) profiles; see DESIGN.md.
@@ -36,6 +36,7 @@ func main() {
 		workers   = flag.Int("workers", 1, "parallel LM solves per search midpoint")
 		budget    = flag.Duration("budget", 0, "wall-clock budget per instance for JANUS (0 = unlimited)")
 		cegar     = flag.Bool("cegar", false, "use the CEGAR LM engine for JANUS")
+		shared    = flag.Bool("shared", false, "share one assumption-based solver per orientation across each search (implies -cegar)")
 		tracePath = flag.String("trace", "", "write a JSONL span trace of every JANUS run to this file")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address")
 	)
@@ -87,6 +88,7 @@ func main() {
 		"instance", "in", "pi", "d", "lb", "oub", "nub", "measured (method sol sec)", "paper (lb oub nub | sols)")
 	var sumSize, sumPaper, n int
 	var added, rebuilt, iters int64
+	var reused, stamped, transferred int64
 	for _, inst := range benchdata.TableII() {
 		if re != nil && !re.MatchString(inst.Name) {
 			continue
@@ -107,6 +109,7 @@ func main() {
 			opt := janus.Options{Workers: *workers, Budget: *budget, Tracer: tracer}
 			opt.Encode.Limits = lims
 			opt.Encode.CEGAR = *cegar
+			opt.SharedSolver = *shared
 			r, err := janus.Synthesize(f, opt)
 			if err == nil {
 				cells = append(cells, fmt.Sprintf("janus %dx%d %.1fs",
@@ -117,6 +120,9 @@ func main() {
 				added += r.ClausesAdded
 				rebuilt += r.ClausesRebuilt
 				iters += r.CegarIters
+				reused += r.SharedReused
+				stamped += r.StampedClauses
+				transferred += r.TransferredCEX
 				if nub > r.NUB {
 					nub = r.NUB // DS may improve on the constructive bounds
 				}
@@ -152,6 +158,10 @@ func main() {
 		fmt.Printf("\nJANUS average switches: measured %.1f vs paper %.1f over %d instances\n",
 			float64(sumSize)/float64(n), float64(sumPaper)/float64(n), n)
 		fmt.Printf("SAT effort: %s\n", report.Effort(added, rebuilt, iters))
+		if *shared {
+			fmt.Printf("shared solver: %d solver reuses  %d clauses stamped  %d cex clauses transferred\n",
+				reused, stamped, transferred)
+		}
 		// The rest of the footer reads the process-wide metrics registry,
 		// the same data /metrics and expvar serve.
 		snap := janus.Metrics()

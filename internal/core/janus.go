@@ -69,6 +69,15 @@ type Options struct {
 	// and cancelling the loser (the ROADMAP's portfolio solving item).
 	// Implies the CEGAR engine for LM solves.
 	Portfolio bool
+	// SharedSolver keeps one assumption-based SAT solver alive per
+	// (cover, orientation) for the whole search and shares it across
+	// every candidate grid — of one dichotomic midpoint and of adjacent
+	// midpoints where the shapes recur: skeletons are guarded by
+	// activation literals, entry clauses are stamped from path templates,
+	// and CEGAR counterexample entries transfer between candidates
+	// (see encode.SharedPool). Implies the CEGAR engine; ignored under
+	// Portfolio, whose racing orientations need independent solvers.
+	SharedSolver bool
 	// Deadline is the absolute form of Budget; set automatically, and
 	// inherited by DS/MF sub-syntheses so nested searches share the same
 	// wall-clock budget.
@@ -131,6 +140,16 @@ type Result struct {
 	ClausesRebuilt int64
 	// CegarIters totals CEGAR refinement iterations across LM solves.
 	CegarIters int64
+	// SharedReused counts LM solves answered on an already-stamped grid
+	// skeleton of the shared solver (Options.SharedSolver only).
+	SharedReused int64
+	// StampedClauses totals the clauses stamped directly into shared
+	// solvers; the gap to ClausesAdded under a fresh-solver run is the
+	// construction the sharing avoided.
+	StampedClauses int64
+	// TransferredCEX totals the counterexample-entry clauses candidates
+	// inherited from entries other candidates discovered.
+	TransferredCEX int64
 	// Elapsed is the wall-clock synthesis time.
 	Elapsed time.Duration
 	// ISOP and DualISOP are the minimized forms the search operated on.
@@ -156,6 +175,13 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 	}
 	if opt.Portfolio {
 		opt.Encode.Portfolio = true
+	}
+	if opt.SharedSolver && !opt.Portfolio && opt.Encode.Shared == nil {
+		// One pool per synthesis: the engines grow with every skeleton, so
+		// they should live exactly as long as the search amortizing them.
+		// DS and MF sub-syntheses inherit the pool through opt.Encode (it
+		// is keyed by cover, so their different part-covers never collide).
+		opt.Encode.Shared = encode.NewSharedPool()
 	}
 	root := obsv.Start(opt.Tracer, opt.TraceParent, "Synthesize")
 	defer root.End()
@@ -279,6 +305,9 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 	res.ClausesAdded = st.added
 	res.ClausesRebuilt = st.rebuilt
 	res.CegarIters = st.iters
+	res.SharedReused = st.reused
+	res.StampedClauses = st.stamped
+	res.TransferredCEX = st.transferred
 	res.Assignment = incumbent
 	res.Grid = incumbent.Grid
 	res.Size = incumbent.Size()
@@ -295,10 +324,13 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 // by pointer through the search helpers (single-goroutine each; the
 // parallel candidate path aggregates after its WaitGroup).
 type lmStats struct {
-	solved  int
-	added   int64
-	rebuilt int64
-	iters   int64
+	solved      int
+	added       int64
+	rebuilt     int64
+	iters       int64
+	reused      int64
+	stamped     int64
+	transferred int64
 }
 
 // note folds one LM solve's counters in.
@@ -310,6 +342,9 @@ func (st *lmStats) note(r encode.Result) {
 	st.added += int64(r.AddedClauses)
 	st.rebuilt += int64(r.RebuiltClauses)
 	st.iters += int64(r.CegarIters)
+	st.reused += int64(r.ReusedSolvers)
+	st.stamped += int64(r.StampedClauses)
+	st.transferred += int64(r.TransferredCEXClauses)
 }
 
 // noteResult folds a sub-synthesis' aggregated counters in.
@@ -318,6 +353,9 @@ func (st *lmStats) noteResult(r Result) {
 	st.added += r.ClausesAdded
 	st.rebuilt += r.ClausesRebuilt
 	st.iters += r.CegarIters
+	st.reused += r.SharedReused
+	st.stamped += r.StampedClauses
+	st.transferred += r.TransferredCEX
 }
 
 // solveCandidates decides the LM problem for each candidate, sequentially

@@ -68,10 +68,15 @@ type MultiResult struct {
 	Parts    []Result
 	LMSolved int
 	// ClausesAdded / ClausesRebuilt / CegarIters aggregate the
-	// incremental-solving counters over every LM call, as in Result.
+	// incremental-solving counters over every LM call, as in Result;
+	// SharedReused / StampedClauses / TransferredCEX do the same for the
+	// shared-solver counters (Options.SharedSolver).
 	ClausesAdded   int64
 	ClausesRebuilt int64
 	CegarIters     int64
+	SharedReused   int64
+	StampedClauses int64
+	TransferredCEX int64
 	Elapsed        time.Duration
 }
 
@@ -122,6 +127,9 @@ func SynthesizeMulti(fns []cube.Cover, opt Options, reduce bool) (*MultiResult, 
 	mr.ClausesAdded = st.added
 	mr.ClausesRebuilt = st.rebuilt
 	mr.CegarIters = st.iters
+	mr.SharedReused = st.reused
+	mr.StampedClauses = st.stamped
+	mr.TransferredCEX = st.transferred
 	ml := packMulti(parts, targets)
 	if err := ml.Verify(); err != nil {
 		return nil, err

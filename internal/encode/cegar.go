@@ -95,7 +95,16 @@ func SolveLMCegar(target, targetDual cube.Cover, g lattice.Grid, opt Options) (R
 	var res Result
 	sawUnknown := false
 	for _, a := range attempts {
-		r, err := cegarOne(a.cover, target, targetTab, g, a.dual, opt, deadline)
+		var r Result
+		var err error
+		if opt.Shared != nil {
+			// One persistent assumption-based solver per (cover,
+			// orientation), shared across every candidate grid the search
+			// probes (see SharedPool).
+			r, err = opt.Shared.solveShared(a.cover, target, targetTab, g, a.dual, opt, deadline)
+		} else {
+			r, err = cegarOne(a.cover, target, targetTab, g, a.dual, opt, deadline)
+		}
 		if err != nil {
 			return r, err
 		}

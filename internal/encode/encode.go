@@ -79,6 +79,15 @@ type Options struct {
 	// portfolio solving; it replaces the sequential sparser-first order
 	// when the sparser orientation is the slower one.
 	Portfolio bool
+	// Shared, when non-nil, makes the CEGAR engine solve every candidate
+	// grid on one persistent assumption-based solver per (cover,
+	// orientation) drawn from this pool, instead of a fresh solver per
+	// candidate: skeletons are guarded by activation literals, entry
+	// clauses are stamped from path templates, and counterexample entries
+	// transfer between candidates (see SharedPool). Implies CEGAR; ignored
+	// under Portfolio, whose two racing goroutines need independent
+	// solvers.
+	Shared *SharedPool
 	// Limits bounds each SAT call.
 	Limits sat.Limits
 	// Span, when non-nil, is the parent trace span under which this LM
@@ -119,6 +128,22 @@ type Result struct {
 	// saving; the two are equal for single-iteration and monolithic
 	// solves.
 	RebuiltClauses int
+
+	// ReusedSolvers is 1 when the shared engine answered this candidate
+	// from a skeleton stamped by an earlier solve (Options.Shared only).
+	ReusedSolvers int
+	// StampedClauses counts the clauses stamped into the shared solver
+	// during this solve: skeleton (first activation only), transferred
+	// counterexample entries, and entries this solve's refinement
+	// discovered. Equals AddedClauses under Options.Shared.
+	StampedClauses int
+	// TransferredCEXClauses is the portion of StampedClauses that encodes
+	// counterexample entries discovered by *other* candidates — knowledge
+	// this solve got for free.
+	TransferredCEXClauses int
+	// AssumptionCoreSize is the size of the final-conflict assumption
+	// core of the last Unsat answer (Options.Shared only; zero otherwise).
+	AssumptionCoreSize int
 }
 
 // MaxInputs bounds the target function size for the truth-table-based
@@ -562,7 +587,7 @@ func SolveLM(target, targetDual cube.Cover, g lattice.Grid, opt Options) (Result
 	if target.N > MaxInputs {
 		return Result{}, ErrTooManyInputs
 	}
-	if opt.CEGAR || opt.Portfolio {
+	if opt.CEGAR || opt.Portfolio || opt.Shared != nil {
 		sub := opt
 		sub.CEGAR = false
 		return SolveLMCegar(target, targetDual, g, sub)

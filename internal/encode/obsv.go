@@ -21,6 +21,14 @@ var (
 	mCegarEntries  = obsv.Default.Counter("janus_encode_cegar_entries_total")
 	mClausesAdded  = obsv.Default.Counter("janus_encode_clauses_added_total")
 	mClausesRebld  = obsv.Default.Counter("janus_encode_clauses_rebuilt_total")
+	// Shared assumption-based engine (Options.Shared): candidates answered
+	// on a reused skeleton, clauses stamped directly into the shared
+	// solver, counterexample-entry clauses transferred between candidates,
+	// and the final-conflict assumption core sizes of Unsat answers.
+	mSharedReused   = obsv.Default.Counter("janus_encode_shared_reused_solvers_total")
+	mSharedStamped  = obsv.Default.Counter("janus_encode_shared_stamped_clauses_total")
+	mSharedTransfer = obsv.Default.Counter("janus_encode_shared_transferred_cex_clauses_total")
+	hAssumeCore     = obsv.Default.Histogram("janus_encode_assumption_core_size")
 	// Portfolio racing (Options.Portfolio): races run, wins by
 	// orientation, and losers cancelled through the interrupt channel.
 	mPortfolioRaces      = obsv.Default.Counter("janus_encode_portfolio_races_total")

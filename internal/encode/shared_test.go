@@ -1,0 +1,174 @@
+package encode
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/lattice-tools/janus/internal/lattice"
+	"github.com/lattice-tools/janus/internal/minimize"
+	"github.com/lattice-tools/janus/internal/sat"
+)
+
+// TestSharedAgreesWithCegar is the shared engine's soundness check: on
+// random small LM problems, solving every grid on one shared
+// assumption-based solver must agree with the fresh-solver CEGAR engine
+// on satisfiability, and SAT answers must verify.
+func TestSharedAgreesWithCegar(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	grids := []lattice.Grid{{M: 2, N: 2}, {M: 3, N: 2}, {M: 2, N: 3}, {M: 3, N: 3}, {M: 4, N: 2}}
+	for trial := 0; trial < 20; trial++ {
+		raw := randomFunc(rng, 3, 3)
+		f := minimize.Auto(raw)
+		if f.IsZero() || f.IsOne() {
+			continue
+		}
+		d := minimize.Auto(f.Dual())
+		pool := NewSharedPool() // one pool across all grids: that is the point
+		for _, g := range grids {
+			ceg, err := SolveLMCegar(f, d, g, Options{})
+			if err != nil {
+				t.Fatalf("cegar %v: %v", g, err)
+			}
+			shr, err := SolveLM(f, d, g, Options{Shared: pool})
+			if err != nil {
+				t.Fatalf("shared %v: %v", g, err)
+			}
+			if (ceg.Status == sat.Sat) != (shr.Status == sat.Sat) {
+				t.Fatalf("trial %d grid %v: cegar=%v shared=%v for %v",
+					trial, g, ceg.Status, shr.Status, f)
+			}
+			if shr.Status == sat.Sat && !shr.Assignment.Realizes(f) {
+				t.Fatalf("trial %d grid %v: shared answer unverified", trial, g)
+			}
+		}
+	}
+}
+
+// TestSharedFig1 checks the paper's running example end to end on a
+// shared pool, including a definitive Unsat on the infeasible 3×3.
+func TestSharedFig1(t *testing.T) {
+	f, d := isopPair(fig1())
+	pool := NewSharedPool()
+	r, err := SolveLM(f, d, lattice.Grid{M: 3, N: 3}, Options{Shared: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != sat.Unsat {
+		t.Fatalf("3x3 status = %v, want UNSAT", r.Status)
+	}
+	r, err = SolveLM(f, d, lattice.Grid{M: 4, N: 2}, Options{Shared: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != sat.Sat || !r.Assignment.Realizes(f) {
+		t.Fatalf("4x2 status = %v", r.Status)
+	}
+}
+
+// TestSharedReuseCounters documents the engine's point: the second solve
+// of the same shape reuses the stamped skeleton (ReusedSolvers=1, far
+// fewer stamped clauses), and a second shape on the same pool gets the
+// first shape's counterexample entries transferred in.
+func TestSharedReuseCounters(t *testing.T) {
+	f, d := isopPair(fig1())
+	pool := NewSharedPool()
+	g := lattice.Grid{M: 4, N: 2}
+
+	first, err := SolveLM(f, d, g, Options{Shared: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ReusedSolvers != 0 {
+		t.Fatalf("first solve claims reuse: %+v", first)
+	}
+	if first.StampedClauses == 0 {
+		t.Fatal("first solve stamped nothing")
+	}
+
+	second, err := SolveLM(f, d, g, Options{Shared: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Status != sat.Sat {
+		t.Fatalf("second status = %v", second.Status)
+	}
+	if second.ReusedSolvers != 1 {
+		t.Fatal("second solve of the same shape must reuse the skeleton")
+	}
+	if second.StampedClauses >= first.StampedClauses {
+		t.Fatalf("reused solve stamped %d clauses, first stamped %d",
+			second.StampedClauses, first.StampedClauses)
+	}
+
+	// A new shape, probed after another candidate discovered entries,
+	// gets those entries stamped in as transferred knowledge. Fig1's 4x2
+	// CEGAR run always refines beyond the two seeds, so the transfer into
+	// the next shape is nonempty.
+	if first.CegarIters > 1 {
+		other, err := SolveLM(f, d, lattice.Grid{M: 2, N: 4}, Options{Shared: pool})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = other // 2x4 fails the structural check; pick one that builds
+	}
+	third, err := SolveLM(f, d, lattice.Grid{M: 3, N: 3}, Options{Shared: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.ReusedSolvers != 0 {
+		t.Fatal("a new shape cannot be a reuse")
+	}
+	if first.CegarIters > 1 && third.TransferredCEXClauses == 0 {
+		t.Fatalf("no counterexample transfer into the new shape: %+v", third)
+	}
+}
+
+// TestSharedUnsatDoesNotPoison: a definitively Unsat grid must not make
+// later grids on the same engine Unsat — the refutation is scoped to the
+// activation literal, whose final core records it.
+func TestSharedUnsatDoesNotPoison(t *testing.T) {
+	f, d := isopPair(fig1())
+	pool := NewSharedPool()
+	for i := 0; i < 2; i++ { // twice: the reused path must stay sound too
+		r, err := SolveLM(f, d, lattice.Grid{M: 3, N: 3}, Options{Shared: pool})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Status != sat.Unsat {
+			t.Fatalf("round %d: 3x3 = %v, want UNSAT", i, r.Status)
+		}
+		if r.AssumptionCoreSize == 0 {
+			t.Fatalf("round %d: Unsat under assumptions must report a core", i)
+		}
+		r, err = SolveLM(f, d, lattice.Grid{M: 4, N: 2}, Options{Shared: pool})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Status != sat.Sat || !r.Assignment.Realizes(f) {
+			t.Fatalf("round %d: 4x2 = %v, want SAT", i, r.Status)
+		}
+	}
+}
+
+// TestSharedAblationOptions runs the shared engine under each formula
+// ablation to cover the guarded/unguarded stamping variants.
+func TestSharedAblationOptions(t *testing.T) {
+	f, d := isopPair(fig1())
+	g := lattice.Grid{M: 4, N: 2}
+	for _, opt := range []Options{
+		{DisableFacts: true},
+		{DisableDegree: true},
+		{DisableSymmetry: true},
+		{FullTL: true},
+		{StrictProducts: true},
+	} {
+		opt.Shared = NewSharedPool()
+		r, err := SolveLM(f, d, g, opt)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opt, err)
+		}
+		if r.Status != sat.Sat || !r.Assignment.Realizes(f) {
+			t.Fatalf("opts %+v: status = %v", opt, r.Status)
+		}
+	}
+}

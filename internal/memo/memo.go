@@ -166,6 +166,11 @@ func coverKey(f cube.Cover) string {
 	return string(b)
 }
 
+// CoverKey exposes the canonical cover key for callers that need to
+// index their own per-function state (the shared-solver pool keys its
+// engines by cover and orientation) with the same exactness guarantee.
+func CoverKey(f cube.Cover) string { return coverKey(f) }
+
 // Paths returns the minimal-path enumeration of the grid (primal
 // top–bottom, or dual 8-connected left–right), cached process-wide. The
 // returned slice is shared: callers must not modify it or the paths'

@@ -1,0 +1,212 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func lit(v int) Lit  { return MkLit(v, false) }
+func nlit(v int) Lit { return MkLit(v, true) }
+
+// TestAssumeBasic: x0 ∨ x1 is Sat under either assumption, Unsat under
+// both negated, and the solver stays usable throughout.
+func TestAssumeBasic(t *testing.T) {
+	s := New(2)
+	s.AddClause(lit(0), lit(1))
+
+	if st := s.SolveAssume(Limits{}, nlit(0)); st != Sat {
+		t.Fatalf("under ¬x0: %v", st)
+	}
+	if !s.Model(1) {
+		t.Fatal("¬x0 must force x1")
+	}
+	if st := s.SolveAssume(Limits{}, nlit(0), nlit(1)); st != Unsat {
+		t.Fatalf("under ¬x0 ¬x1: %v", st)
+	}
+	core := s.FinalCore()
+	if core == nil {
+		t.Fatal("Unsat under assumptions must report a core")
+	}
+	// The refutation needs both assumptions.
+	if len(core) != 2 {
+		t.Fatalf("core = %v, want both assumptions", core)
+	}
+	// Unsat under assumptions must not poison the solver.
+	if st := s.Solve(Limits{}); st != Sat {
+		t.Fatalf("after assumption Unsat, plain Solve: %v", st)
+	}
+}
+
+// TestAssumeCoreSubset: with independent constraint groups, the core
+// names only the assumptions the refutation used.
+func TestAssumeCoreSubset(t *testing.T) {
+	s := New(6)
+	// Group A (guarded by x4): x4 → x0, x4 → ¬x0 — contradictory.
+	s.AddClause(nlit(4), lit(0))
+	s.AddClause(nlit(4), nlit(0))
+	// Group B (guarded by x5): x5 → x1 — satisfiable.
+	s.AddClause(nlit(5), lit(1))
+
+	if st := s.SolveAssume(Limits{}, lit(5), lit(4)); st != Unsat {
+		t.Fatalf("status = %v", st)
+	}
+	core := s.FinalCore()
+	for _, l := range core {
+		if l == lit(5) {
+			t.Fatalf("core %v mentions the innocent group", core)
+		}
+	}
+	found := false
+	for _, l := range core {
+		if l == lit(4) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("core %v must mention the conflicting group", core)
+	}
+	// Deactivating group A restores satisfiability.
+	if st := s.SolveAssume(Limits{}, lit(5), nlit(4)); st != Sat {
+		t.Fatalf("with group A off: %v", st)
+	}
+	if !s.Model(1) {
+		t.Fatal("group B must still force x1")
+	}
+}
+
+// TestAssumeGlobalUnsatNilCore: when the formula itself is Unsat, the
+// answer does not depend on the assumptions and the core is nil.
+func TestAssumeGlobalUnsatNilCore(t *testing.T) {
+	s := New(2)
+	s.AddClause(lit(0))
+	s.AddClause(nlit(0))
+	if st := s.SolveAssume(Limits{}, lit(1)); st != Unsat {
+		t.Fatalf("status = %v", st)
+	}
+	if core := s.FinalCore(); core != nil {
+		t.Fatalf("global Unsat core = %v, want nil", core)
+	}
+}
+
+// TestAssumeActivationPattern mimics the shared-encoder usage: several
+// clause groups each guarded by an activation literal, solved one at a
+// time with only its guard assumed true and the others assumed false.
+func TestAssumeActivationPattern(t *testing.T) {
+	const groups = 4
+	s := New(0)
+	act := make([]Lit, groups)
+	payload := make([]int, groups)
+	for g := 0; g < groups; g++ {
+		a := s.AddVar()
+		x := s.AddVar()
+		y := s.AddVar()
+		act[g] = lit(a)
+		payload[g] = x
+		// act → (x ∨ y), act → (x ∨ ¬y): together force x when active.
+		s.AddClause(nlit(a), lit(x), lit(y))
+		s.AddClause(nlit(a), lit(x), nlit(y))
+		if g%2 == 1 {
+			// Odd groups additionally force ¬x: contradictory when active.
+			s.AddClause(nlit(a), nlit(x))
+		}
+	}
+	for g := 0; g < groups; g++ {
+		assume := make([]Lit, groups)
+		for i := range assume {
+			if i == g {
+				assume[i] = act[i]
+			} else {
+				assume[i] = act[i].Not()
+			}
+		}
+		st := s.SolveAssume(Limits{}, assume...)
+		if g%2 == 0 {
+			if st != Sat {
+				t.Fatalf("group %d: %v", g, st)
+			}
+			if !s.Model(payload[g]) {
+				t.Fatalf("group %d: payload not forced", g)
+			}
+		} else {
+			if st != Unsat {
+				t.Fatalf("group %d: %v", g, st)
+			}
+			core := s.FinalCore()
+			if len(core) != 1 || core[0] != act[g] {
+				t.Fatalf("group %d: core = %v, want [%v]", g, core, act[g])
+			}
+		}
+	}
+}
+
+// TestAssumeKeepsLearnts: clauses learnt under one assumption set keep
+// pruning later calls, and interleaved AddClause stays sound.
+func TestAssumeKeepsLearnts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := New(30)
+	for _, c := range randomCNF(rng, 25, 95, 3) {
+		s.AddClause(c...)
+	}
+	a := lit(28)
+	st1 := s.SolveAssume(Limits{}, a)
+	learnt := s.Stats().Learnts
+	// Same assumptions again: the learnt database carries over, so the
+	// repeat costs at most as many new conflicts as the first call.
+	st2 := s.SolveAssume(Limits{}, a)
+	if st1 != st2 {
+		t.Fatalf("statuses differ: %v then %v", st1, st2)
+	}
+	if got := s.Stats().Learnts; got < learnt {
+		t.Fatalf("learnt count went backwards: %d → %d", learnt, got)
+	}
+	// Interleave a clause touching the assumption var, then flip it.
+	s.AddClause(nlit(28), lit(29))
+	if st := s.SolveAssume(Limits{}, a, nlit(29)); st != Unsat {
+		t.Fatalf("x28 ∧ ¬x29 with x28→x29: %v", st)
+	}
+	if st := s.SolveAssume(Limits{}, a.Not(), nlit(29)); st == Unknown {
+		t.Fatalf("unexpected Unknown")
+	}
+}
+
+// TestAssumeMatchesConditioned cross-checks SolveAssume against a fresh
+// solver with the assumptions added as unit clauses, on random 3-SAT.
+func TestAssumeMatchesConditioned(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for inst := 0; inst < 150; inst++ {
+		nVars := 8 + rng.Intn(8)
+		cls := randomCNF(rng, nVars, 3*nVars+rng.Intn(2*nVars), 3)
+
+		shared := New(nVars)
+		for _, c := range cls {
+			shared.AddClause(c...)
+		}
+		for call := 0; call < 4; call++ {
+			nAssume := rng.Intn(4)
+			assume := make([]Lit, nAssume)
+			for i := range assume {
+				assume[i] = MkLit(rng.Intn(nVars), rng.Intn(2) == 0)
+			}
+			fresh := New(nVars)
+			for _, c := range cls {
+				fresh.AddClause(c...)
+			}
+			for _, l := range assume {
+				fresh.AddClause(l)
+			}
+			want := fresh.Solve(Limits{})
+			got := shared.SolveAssume(Limits{}, assume...)
+			if got != want {
+				t.Fatalf("inst %d call %d assume %v: shared %v, conditioned %v",
+					inst, call, assume, got, want)
+			}
+			if got == Sat {
+				for _, l := range assume {
+					if shared.value(l) != lTrue {
+						t.Fatalf("inst %d: model violates assumption %v", inst, l)
+					}
+				}
+			}
+		}
+	}
+}

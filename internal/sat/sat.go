@@ -208,6 +208,13 @@ type Solver struct {
 
 	learntCap int
 
+	// assume holds the current call's assumption literals: assumption i
+	// is decided at decision level i+1 before any branching. finalCore
+	// records, after an Unsat answer under assumptions, the subset of the
+	// assumptions the refutation actually used.
+	assume    []Lit
+	finalCore []Lit
+
 	// observer, when set, receives per-call statistics at the end of
 	// every Solve. It lets an external tracer see inside the CDCL loop
 	// without this package depending on it (internal/obsv stays a
@@ -569,6 +576,50 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	return learnt, btLevel
 }
 
+// analyzeFinal computes the final-conflict core: given assumption p found
+// falsified while establishing the assumption levels, it walks the
+// implication trail backwards and collects the subset of the already
+// established assumptions that (together with p) the refutation actually
+// used. The core is returned in the assumptions' original polarity, p
+// included, so a caller activating clause groups by assumption literal
+// can read exactly which groups conflicted.
+func (s *Solver) analyzeFinal(p Lit) []Lit {
+	core := []Lit{p}
+	if s.decisionLevel() == 0 {
+		// p is refuted by level-0 facts alone (e.g. a learnt unit): no
+		// other assumption shares the blame.
+		return core
+	}
+	s.seen[p.Var()] = true
+	for i := len(s.trail) - 1; i >= int(s.trailLim[0]); i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		if s.reason[v] == nil {
+			// A decision below the branching levels is an assumption.
+			if s.level[v] > 0 {
+				core = append(core, s.trail[i])
+			}
+		} else {
+			for _, q := range s.reason[v].lits {
+				if q.Var() != v && s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	s.seen[p.Var()] = false
+	return core
+}
+
+// FinalCore returns the assumptions responsible for the last SolveAssume
+// call's Unsat answer, in their original polarity. A nil core after Unsat
+// means the formula is unsatisfiable regardless of assumptions. The slice
+// is valid until the next Solve/SolveAssume call.
+func (s *Solver) FinalCore() []Lit { return s.finalCore }
+
 // redundant reports whether literal l of a learnt clause is implied by the
 // remaining marked literals (simple non-recursive check on its reason).
 func (s *Solver) redundant(l Lit) bool {
@@ -729,7 +780,27 @@ func luby(x int64) int64 {
 // restarts the search from decision level 0 against the clauses added so
 // far, reusing the learnt-clause database, variable activities, and saved
 // phases accumulated by earlier calls.
-func (s *Solver) Solve(lim Limits) Status {
+func (s *Solver) Solve(lim Limits) Status { return s.SolveAssume(lim) }
+
+// SolveAssume runs the CDCL search with the given assumption literals
+// held true for the duration of this call only. Assumptions are decided
+// on dedicated decision levels before any branching, so an Unsat answer
+// means "unsatisfiable under these assumptions" — the solver itself stays
+// usable, and FinalCore reports which assumptions the refutation used (a
+// nil core means the formula is unsatisfiable outright). Learnt clauses,
+// variable activities, and saved phases persist across calls exactly as
+// with Solve; clauses learnt under assumptions mention the assumption
+// literals explicitly, so they remain globally sound and keep pruning
+// later calls made under different assumptions.
+func (s *Solver) SolveAssume(lim Limits, assumptions ...Lit) Status {
+	for _, a := range assumptions {
+		if int(a>>1) >= s.nVars {
+			s.grow(int(a>>1) + 1)
+		}
+	}
+	s.assume = assumptions
+	s.finalCore = nil
+	defer func() { s.assume = nil }()
 	if s.observer == nil {
 		return s.solve(lim)
 	}
@@ -846,6 +917,28 @@ func (s *Solver) search(budget int64, lim Limits, deadline time.Time) Status {
 		if len(s.learnts) > s.learntCap+len(s.trail) {
 			s.reduceDB()
 			s.learntCap += 256
+		}
+		// Establish the assumption levels before any branching. A restart
+		// or a deep backtrack unwinds them; this loop re-asserts whichever
+		// are missing, one propagation round at a time.
+		if s.decisionLevel() < len(s.assume) {
+			p := s.assume[s.decisionLevel()]
+			switch s.value(p) {
+			case lTrue:
+				// Already implied: open a dummy level so assumption i
+				// stays pinned to decision level i+1.
+				s.trailLim = append(s.trailLim, int32(len(s.trail)))
+			case lFalse:
+				// The remaining assumptions are incompatible with what the
+				// formula (plus the established assumptions) implies.
+				s.finalCore = s.analyzeFinal(p)
+				s.backtrackTo(0)
+				return Unsat
+			default:
+				s.trailLim = append(s.trailLim, int32(len(s.trail)))
+				s.uncheckedEnqueue(p, nil)
+			}
+			continue
 		}
 		v := s.pickBranchVar()
 		if v < 0 {

@@ -1,10 +1,15 @@
 package service
 
 import (
+	"context"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/lattice-tools/janus/internal/core"
+	"github.com/lattice-tools/janus/internal/cube"
 )
 
 func doneOutcome(size int) *outcome {
@@ -146,5 +151,142 @@ func TestDiskCacheByteBound(t *testing.T) {
 	}
 	if _, ok := one.get("k2"); !ok {
 		t.Fatal("newest entry must survive the byte budget")
+	}
+}
+
+// budgetTestServer is a server whose synth stub counts calls and
+// returns a MatchedLB-controllable answer.
+func budgetTestServer(t *testing.T, matchedLB bool) (*Server, *atomic.Int32) {
+	t.Helper()
+	s := newTestServer(t, Config{Workers: 1})
+	var calls atomic.Int32
+	s.synth = func(f cube.Cover, opt core.Options) (core.Result, error) {
+		calls.Add(1)
+		r := fakeResult()
+		r.MatchedLB = matchedLB
+		return r, nil
+	}
+	return s, &calls
+}
+
+// TestBudgetReuseMatchedLB is the budget-crossing regression test: an
+// answer that matched the lower bound under a small timeout is globally
+// optimal, so a later request for the same function with a much larger
+// timeout must be a cache hit, not a second synthesis. Before the
+// budget index, the exact (function, budget) key made the second
+// request a miss.
+func TestBudgetReuseMatchedLB(t *testing.T) {
+	s, calls := budgetTestServer(t, true)
+	first, err := s.Synthesize(context.Background(), Request{PLA: fig1PLA, TimeoutMS: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached != "" || !first.Result.MatchedLB {
+		t.Fatalf("seed request: cached=%q matchedLB=%v", first.Cached, first.Result.MatchedLB)
+	}
+	before := mBudgetHits.Value()
+	second, err := s.Synthesize(context.Background(), Request{PLA: fig1PLA, TimeoutMS: 60 * 60 * 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Cached != "mem" {
+		t.Fatalf("large-timeout request not served from cache: cached=%q", second.Cached)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("%d syntheses, want 1 (budget reuse failed)", got)
+	}
+	if mBudgetHits.Value() != before+1 {
+		t.Fatal("budget hit not counted")
+	}
+}
+
+// TestBudgetReuseDominatingStored: an answer computed under a larger
+// budget is at least as good as anything a smaller budget could find,
+// MatchedLB or not.
+func TestBudgetReuseDominatingStored(t *testing.T) {
+	s, calls := budgetTestServer(t, false)
+	if _, err := s.Synthesize(context.Background(), Request{PLA: fig1PLA, TimeoutMS: 60 * 60 * 1000}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Synthesize(context.Background(), Request{PLA: fig1PLA, TimeoutMS: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached != "mem" || calls.Load() != 1 {
+		t.Fatalf("smaller-budget request not served from the dominating answer: cached=%q calls=%d",
+			resp.Cached, calls.Load())
+	}
+}
+
+// TestBudgetNoUnsoundReuse: a non-optimal answer from a smaller budget
+// must NOT satisfy a larger-budget request — more budget might find a
+// smaller lattice.
+func TestBudgetNoUnsoundReuse(t *testing.T) {
+	s, calls := budgetTestServer(t, false)
+	if _, err := s.Synthesize(context.Background(), Request{PLA: fig1PLA, TimeoutMS: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Synthesize(context.Background(), Request{PLA: fig1PLA, TimeoutMS: 60 * 60 * 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached != "" || calls.Load() != 2 {
+		t.Fatalf("under-budget non-optimal answer reused unsoundly: cached=%q calls=%d",
+			resp.Cached, calls.Load())
+	}
+	// MaxConflicts crossings behave the same way: a bounded-conflicts
+	// answer must not serve an unlimited request, but the reverse reuse
+	// holds (0 = unlimited dominates every bound). Fresh server so the
+	// timeout-crossing answers above cannot dominate these requests.
+	s, calls = budgetTestServer(t, false)
+	if _, err := s.Synthesize(context.Background(), Request{PLA: fig1PLA, MaxConflicts: 100}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = s.Synthesize(context.Background(), Request{PLA: fig1PLA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached != "" || calls.Load() != 2 {
+		t.Fatalf("bounded-conflicts answer served an unlimited request: cached=%q calls=%d",
+			resp.Cached, calls.Load())
+	}
+	resp, err = s.Synthesize(context.Background(), Request{PLA: fig1PLA, MaxConflicts: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached != "mem" || calls.Load() != 2 {
+		t.Fatalf("unlimited answer must serve a bounded request: cached=%q calls=%d",
+			resp.Cached, calls.Load())
+	}
+}
+
+// TestDuplicateCubeKey: a PLA that repeats a cube denotes the same
+// function, so both spellings must share the canonical key and hit the
+// same cache slot. Before dedup, the repeated cube hashed into the key
+// and the redundant spelling missed the cache and dodged coalescing.
+func TestDuplicateCubeKey(t *testing.T) {
+	dup := ".i 4\n.o 1\n1111 1\n0000 1\n1111 1\n.e\n"
+	a, err := parseRequest(Request{PLA: fig1PLA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parseRequest(Request{PLA: dup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.fnKey != b.fnKey || a.key != b.key {
+		t.Fatal("repeated cube must not change the canonical key")
+	}
+
+	s, calls := budgetTestServer(t, false)
+	if _, err := s.Synthesize(context.Background(), Request{PLA: fig1PLA}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Synthesize(context.Background(), Request{PLA: dup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached != "mem" || calls.Load() != 1 {
+		t.Fatalf("redundant spelling missed the cache: cached=%q calls=%d", resp.Cached, calls.Load())
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -78,15 +79,39 @@ func (c *Client) do(ctx context.Context, method, path string, body, into any) er
 		} else {
 			se.Message = strings.TrimSpace(string(data))
 		}
-		if ra, err := time.ParseDuration(resp.Header.Get("Retry-After") + "s"); err == nil {
-			se.RetryAfter = ra
-		}
+		se.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 		return se
 	}
 	if into == nil {
 		return nil
 	}
 	return json.Unmarshal(data, into)
+}
+
+// parseRetryAfter reads a Retry-After header per RFC 7231 §7.1.3: a
+// non-negative integer delay in seconds, or an HTTP-date (converted to
+// a delay relative to now). Anything else — empty, fractional,
+// negative, duration-suffixed — yields 0, meaning "retry policy's
+// choice". The previous implementation appended "s" and ran
+// time.ParseDuration, which silently mis-read non-integer values (a
+// proxy's "2m" became "2ms", i.e. a 2-millisecond hot retry loop) and
+// rejected HTTP-dates outright.
+func parseRetryAfter(header string, now time.Time) time.Duration {
+	if header == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(header); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(header); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // Synthesize submits a request and waits for the response (which may be

@@ -1,0 +1,72 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter pins the RFC 7231 semantics: integer seconds or
+// an HTTP-date, everything else 0. The old ParseDuration(header+"s")
+// path turned a proxy's "2m" into 2 milliseconds and rejected dates.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", 0},
+		{"1", time.Second},
+		{"120", 2 * time.Minute},
+		{"0", 0},
+		{"-5", 0},                      // negative: malformed, ignore
+		{"1.5", 0},                     // fractional: not RFC 7231
+		{"2m", 0},                      // duration syntax: not RFC 7231
+		{"soon", 0},                    // junk
+		{now.Add(30 * time.Second).Format(http.TimeFormat), 30 * time.Second},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0}, // date in the past
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.header, now); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}
+
+// TestClientRetryAfterHeader drives the parse through a real 429
+// answer: the client must surface the server's delay on APIError and
+// leave it 0 for malformed headers (so retry loops fall back to their
+// own pacing rather than sleeping a mis-parsed duration).
+func TestClientRetryAfterHeader(t *testing.T) {
+	var header string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if header != "" {
+			w.Header().Set("Retry-After", header)
+		}
+		http.Error(w, `{"status":"error","error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	for _, tc := range []struct {
+		header string
+		want   time.Duration
+	}{
+		{"3", 3 * time.Second},
+		{"2m", 0},
+		{"", 0},
+	} {
+		header = tc.header
+		_, err := c.Synthesize(context.Background(), Request{PLA: ".i 1\n.o 1\n1 1\n.e\n"})
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.Code != http.StatusTooManyRequests {
+			t.Fatalf("header %q: err = %v, want 429 APIError", tc.header, err)
+		}
+		if ae.RetryAfter != tc.want {
+			t.Errorf("header %q: RetryAfter = %v, want %v", tc.header, ae.RetryAfter, tc.want)
+		}
+	}
+}

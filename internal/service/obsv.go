@@ -11,6 +11,7 @@ var (
 	mMemHits     = obsv.Default.Counter("janus_service_cache_mem_hits")
 	mDiskHits    = obsv.Default.Counter("janus_service_cache_disk_hits")
 	mCacheMiss   = obsv.Default.Counter("janus_service_cache_misses")
+	mBudgetHits  = obsv.Default.Counter("janus_service_cache_budget_hits_total")
 	mQueueFull   = obsv.Default.Counter("janus_service_queue_full_total")
 	mCanceled    = obsv.Default.Counter("janus_service_canceled_total")
 	mJobsDone    = obsv.Default.Counter("janus_service_jobs_done_total")

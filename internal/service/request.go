@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -82,11 +83,15 @@ const (
 )
 
 // parsedRequest is a validated Request: the selected cover, its input
-// names for rendering, and the canonical cache/coalescing key.
+// names for rendering, and the canonical cache/coalescing keys. fnKey
+// identifies the budget-free question (function + answer-shaping
+// options); key adds the budget fields and is the exact coalescing and
+// cache-store identity.
 type parsedRequest struct {
 	req   Request
 	cover cube.Cover
 	names []string
+	fnKey string
 	key   string
 }
 
@@ -111,23 +116,25 @@ func parseRequest(req Request) (*parsedRequest, error) {
 	if req.MaxConflicts < 0 || req.TimeoutMS < 0 {
 		return nil, fmt.Errorf("negative budget")
 	}
+	fnKey := canonicalFnKey(cover, req)
 	return &parsedRequest{
 		req:   req,
 		cover: cover,
 		names: f.InputNames,
-		key:   canonicalKey(cover, req),
+		fnKey: fnKey,
+		key:   canonicalKey(fnKey, req),
 	}, nil
 }
 
-// canonicalKey builds the exact cache/coalescing key of a request: the
-// target function in canonical cube order plus every option that can
-// change the answer. Two PLA texts that spell the same cover (cube order,
-// whitespace, comments, other outputs) map to the same key, which is what
-// lets concurrent identical requests coalesce into one synthesis.
-// TimeoutMS is part of the key because a tighter budget may legitimately
-// settle for a larger lattice — callers with different patience are not
-// asking the same question.
-func canonicalKey(f cube.Cover, req Request) string {
+// canonicalFnKey builds the budget-free part of a request's identity: the
+// target function in canonical cube order plus the options that change
+// which answer is acceptable, but none of the budget fields. Two PLA
+// texts that spell the same cover (cube order, whitespace, comments,
+// other outputs, repeated cubes) map to the same fnKey. Cubes are
+// deduplicated after sorting: a cover with a repeated cube denotes the
+// same function, so it must not hash differently — before this, the
+// redundant spelling missed both coalescing and the result cache.
+func canonicalFnKey(f cube.Cover, req Request) string {
 	cubes := append([]cube.Cube(nil), f.Cubes...)
 	sort.Slice(cubes, func(i, j int) bool {
 		if cubes[i].Pos != cubes[j].Pos {
@@ -139,7 +146,12 @@ func canonicalKey(f cube.Cover, req Request) string {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], uint64(f.N))
 	h.Write(b[:])
-	for _, c := range cubes {
+	prev := cube.Cube{Pos: ^uint64(0), Neg: ^uint64(0)}
+	for i, c := range cubes {
+		if i > 0 && c == prev {
+			continue
+		}
+		prev = c
 		binary.LittleEndian.PutUint64(b[:], c.Pos)
 		h.Write(b[:])
 		binary.LittleEndian.PutUint64(b[:], c.Neg)
@@ -153,11 +165,34 @@ func canonicalKey(f cube.Cover, req Request) string {
 		opts |= 2
 	}
 	h.Write([]byte{opts})
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// canonicalKey is the exact cache/coalescing key: the fnKey plus the
+// budget fields. TimeoutMS and MaxConflicts are part of the key because
+// a tighter budget may legitimately settle for a larger lattice —
+// callers with different patience are not asking the same question. The
+// budget index (Server.budgetHit) layers the sound cross-budget reuse
+// rules on top of this exact identity.
+func canonicalKey(fnKey string, req Request) string {
+	h := sha256.New()
+	h.Write([]byte(fnKey))
+	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], uint64(req.MaxConflicts))
 	h.Write(b[:])
 	binary.LittleEndian.PutUint64(b[:], uint64(req.TimeoutMS))
 	h.Write(b[:])
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// maxConflictsNorm maps the request's MaxConflicts onto a totally
+// ordered budget scale: 0 means unlimited, which dominates every finite
+// bound.
+func maxConflictsNorm(mc int64) int64 {
+	if mc <= 0 {
+		return math.MaxInt64
+	}
+	return mc
 }
 
 // coreOptions translates the request knobs into synthesis options.

@@ -98,6 +98,14 @@ type Server struct {
 	seq       uint64
 	nonce     string
 
+	// budgets indexes finished answers by budget-free function key, so a
+	// request whose exact (function, budget) key misses can still be
+	// served by an answer computed under a compatible budget (see
+	// budgetHit). Guarded by budMu, not mu: lookups happen on the request
+	// path before admission.
+	budMu   sync.Mutex
+	budgets map[string][]budgetEntry
+
 	wg sync.WaitGroup
 
 	// synth runs one synthesis; tests replace it to count and stall.
@@ -131,6 +139,7 @@ func NewServer(cfg Config) (*Server, error) {
 		queue:    make(chan *job, cfg.QueueDepth),
 		inflight: make(map[string]*job),
 		jobs:     make(map[string]*job),
+		budgets:  make(map[string][]budgetEntry),
 		synth:    core.Synthesize,
 	}
 	var nonce [4]byte
@@ -182,6 +191,10 @@ func (s *Server) Synthesize(ctx context.Context, req Request) (*Response, error)
 		return nil, err
 	}
 	if out, where, ok := s.cached(p.key); ok {
+		hRequestNS.Observe(int64(time.Since(start)))
+		return respond(out, "", where), nil
+	}
+	if out, where, ok := s.budgetHit(p); ok {
 		hRequestNS.Observe(int64(time.Since(start)))
 		return respond(out, "", where), nil
 	}
@@ -359,6 +372,7 @@ func (s *Server) run(j *job) {
 		out = &outcome{Status: StatusDone, Result: renderResult(res, j.p.names)}
 		s.mem.put(j.key, out)
 		s.disk.put(j.key, out)
+		s.recordBudget(j.p, res.MatchedLB)
 	}
 	s.mu.Lock()
 	s.finishLocked(j, out)

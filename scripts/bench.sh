@@ -19,6 +19,13 @@
 # incremental engine's speedup stays visible without checking out the old
 # tree: compare them against the BenchmarkCegarEngine ns_per_op values.
 #
+# A "shared_vs_fresh" block compares the whole dichotomic search with
+# fresh per-candidate CEGAR solvers against the shared assumption-based
+# solver (BenchmarkSharedSearch): per instance, wall time and the clause
+# volume constructed (fresh "clauses-added" vs shared "stamped-clauses").
+# Stamped < added is the template-stamping win; the ns columns show the
+# wall-clock effect.
+#
 # A "service_load" block is appended from a cmd/janusload run against a
 # freshly started janusd (48 requests cycling 4 functions): rps, latency
 # percentiles, and the fresh/coalesced/cached answer composition.
@@ -37,7 +44,7 @@ cleanup() {
 trap cleanup EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkAblationEncoding|BenchmarkTableIIJanus|BenchmarkCegarEngine' \
+  -bench 'BenchmarkAblationEncoding|BenchmarkTableIIJanus|BenchmarkCegarEngine|BenchmarkSharedSearch' \
   -benchtime 3x . | tee "$raw"
 
 awk '
@@ -53,6 +60,12 @@ BEGIN { print "{\n  \"benchmarks\": [" ; first = 1 }
         gsub(/"/, "", u)
         m = sprintf("\"%s\": %s", u, v)
         metrics = metrics == "" ? m : metrics ", " m
+        if (name ~ /^BenchmarkSharedSearch\//) sv[name "/" u] = v
+    }
+    if (name ~ /^BenchmarkSharedSearch\//) {
+        split(name, parts, "/")
+        insts[parts[2]] = 1
+        sv[name "/ns"] = ns
     }
     if (!first) printf ",\n"
     first = 0
@@ -60,6 +73,19 @@ BEGIN { print "{\n  \"benchmarks\": [" ; first = 1 }
 }
 END {
     print "\n  ],"
+    print "  \"shared_vs_fresh\": {"
+    print "    \"comment\": \"whole dichotomic search: fresh per-candidate CEGAR solvers vs one shared assumption-based solver per orientation\","
+    firstinst = 1
+    for (inst in insts) {
+        p = "BenchmarkSharedSearch/" inst
+        if (!firstinst) printf ",\n"
+        firstinst = 0
+        printf "    \"%s\": {\"fresh_ns\": %s, \"fresh_clauses_added\": %s, \"shared_ns\": %s, \"shared_stamped_clauses\": %s, \"solver_reuses\": %s, \"cex_transferred\": %s}", \
+            inst, sv[p "/fresh/ns"], sv[p "/fresh/clauses-added"], \
+            sv[p "/shared/ns"], sv[p "/shared/stamped-clauses"], \
+            sv[p "/shared/solver-reuses"], sv[p "/shared/cex-transferred"]
+    }
+    print "\n  },"
     print "  \"cegar_seed_baseline\": {"
     print "    \"comment\": \"rebuild-per-iteration CEGAR engine at the growth seed; ns wall per solve\","
     print "    \"dc1_02-4x3\": {\"ns_per_op\": 92080000, \"iters\": 12, \"clauses_pushed\": 26436},"
