@@ -8,32 +8,49 @@
 //	janusd [-addr :7151] [-workers N] [-queue N] [-cache-dir DIR]
 //	       [-cache-entries N] [-cache-bytes N] [-mem-entries N]
 //	       [-default-timeout D] [-max-timeout D] [-synth-workers N]
-//	       [-drain-timeout D] [-debug-addr ADDR]
+//	       [-drain-timeout D] [-debug-addr ADDR] [-log-level LEVEL]
+//	       [-trace-jobs N] [-trace-spans N] [-flight-entries N]
+//	       [-flight-slow-ms N] [-slo-synth-ms N] [-slo-jobs-ms N]
+//	       [-slo-target F]
 //
 // API:
 //
-//	POST /v1/synthesize   {"pla": ".i 4\n.o 1\n1111 1\n0000 1\n.e"}
-//	GET  /v1/jobs/{id}    poll an async or timed-out job
-//	GET  /healthz         queue health (503 while draining)
-//	GET  /metrics         process-wide janus_* metrics
+//	POST /v1/synthesize         {"pla": ".i 4\n.o 1\n1111 1\n0000 1\n.e"}
+//	GET  /v1/jobs/{id}          poll an async or timed-out job
+//	GET  /v1/jobs/{id}/trace    a finished job's span trace (JSONL)
+//	GET  /v1/stats              queue health + SLO burn rates
+//	GET  /healthz               queue health (503 while draining)
+//	GET  /debug/flightrecorder  recent request summaries
+//	GET  /metrics               process-wide janus_* metrics
+//
+// Logs are JSON lines on stderr (one access line per request, lifecycle
+// lines for jobs and the daemon itself). SIGQUIT dumps the flight
+// recorder to stderr and keeps running.
 //
 // SIGINT/SIGTERM starts a graceful shutdown: admission stops, accepted
 // jobs finish (bounded by -drain-timeout), and the memo path snapshot is
-// persisted to the cache directory. A second signal aborts the drain.
+// persisted to the cache directory. The HTTP listener keeps answering —
+// /healthz reports 503 — until the drain completes, so front tiers can
+// see the daemon leaving before its socket does. A second signal aborts
+// the drain.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/lattice-tools/janus"
+	"github.com/lattice-tools/janus/internal/obsv"
 )
 
 func main() {
@@ -50,15 +67,34 @@ func main() {
 		synthW     = flag.Int("synth-workers", 1, "candidate-level parallelism inside each job")
 		drain      = flag.Duration("drain-timeout", 2*time.Minute, "graceful shutdown budget")
 		debugAddr  = flag.String("debug-addr", "", "extra listener for /metrics and /debug/pprof")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		traceJobs  = flag.Int("trace-jobs", 64, "finished jobs keeping a retrievable trace (0 disables tracing)")
+		traceSpans = flag.Int("trace-spans", 0, "max spans kept per job trace (0 = default)")
+		flightEnts = flag.Int("flight-entries", 256, "flight recorder ring size (0 disables)")
+		flightSlow = flag.Int64("flight-slow-ms", 2000, "pin traces of jobs at least this slow (0 = never)")
+		sloSynth   = flag.Int64("slo-synth-ms", 30000, "latency objective for POST /v1/synthesize")
+		sloJobs    = flag.Int64("slo-jobs-ms", 100, "latency objective for GET /v1/jobs")
+		sloTarget  = flag.Float64("slo-target", 0.99, "fraction of requests that must meet their objective")
 	)
 	flag.Parse()
 
+	log := obsv.NewLogger(os.Stderr, parseLevel(*logLevel))
+
+	// Flag zero means "off" for the bounded-retention knobs; the config
+	// encodes off as negative (its own zero means "default").
 	srv, err := janus.NewServer(janus.ServiceConfig{
 		Workers: *workers, QueueDepth: *queue,
 		MemEntries: *memEnts, CacheDir: *cacheDir,
 		DiskEntries: *cacheEnts, DiskBytes: *cacheBytes,
 		DefaultTimeout: *defTimeout, MaxTimeout: *maxTimeout,
 		SynthWorkers: *synthW,
+		TraceJobs:    offIfZero(*traceJobs), TraceSpans: *traceSpans,
+		FlightEntries: offIfZero(*flightEnts),
+		SlowTrace:     time.Duration(offIfZero64(*flightSlow)) * time.Millisecond,
+		SynthSLO:      time.Duration(*sloSynth) * time.Millisecond,
+		JobsSLO:       time.Duration(*sloJobs) * time.Millisecond,
+		SLOTarget:     *sloTarget,
+		Logger:        log,
 	})
 	if err != nil {
 		fatal(err)
@@ -70,7 +106,7 @@ func main() {
 			fatal(err)
 		}
 		defer dln.Close()
-		fmt.Fprintf(os.Stderr, "janusd: debug server on http://%s/metrics\n", dln.Addr())
+		log.Info("debug server up", "addr", dln.Addr().String())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -80,7 +116,19 @@ func main() {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "janusd: serving on http://%s\n", ln.Addr())
+	log.Info("serving", "addr", ln.Addr().String(),
+		"workers", *workers, "queue", *queue, "trace_jobs", *traceJobs,
+		"flight_entries", *flightEnts)
+
+	// SIGQUIT: dump the flight recorder without dying, the classic
+	// "what has this daemon been doing" lever.
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	go func() {
+		for range quitc {
+			dumpFlight(srv)
+		}
+	}()
 
 	sigCtx, stop := signal.NotifyContext(context.Background(),
 		syscall.SIGINT, syscall.SIGTERM)
@@ -88,19 +136,59 @@ func main() {
 	select {
 	case <-sigCtx.Done():
 		stop() // a second signal kills the process the default way
-		fmt.Fprintln(os.Stderr, "janusd: draining...")
+		log.Info("draining")
 	case err := <-errc:
 		fatal(err)
 	}
 
+	// Drain the service FIRST, with the listener still up: load
+	// balancers keep getting 503s from /healthz while accepted jobs
+	// finish, instead of connection refused. Only then close the socket.
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	httpSrv.Shutdown(ctx) //nolint:errcheck // the service drain below is the one that matters
-	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "janusd: drain:", err)
+	drainErr := srv.Shutdown(ctx)
+	httpSrv.Shutdown(ctx) //nolint:errcheck // the service drain above is the one that matters
+	if drainErr != nil {
+		log.Error("drain failed", "err", drainErr.Error())
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "janusd: drained")
+	log.Info("drained")
+}
+
+// dumpFlight writes the flight recorder to stderr as one JSON document.
+func dumpFlight(srv *janus.Server) {
+	d := srv.Flight()
+	enc := json.NewEncoder(os.Stderr)
+	enc.SetIndent("", "  ")
+	fmt.Fprintln(os.Stderr, "janusd: flight recorder dump:")
+	enc.Encode(d) //nolint:errcheck // best-effort debug output
+}
+
+func parseLevel(s string) slog.Level {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+func offIfZero(v int) int {
+	if v == 0 {
+		return -1
+	}
+	return v
+}
+
+func offIfZero64(v int64) int64 {
+	if v == 0 {
+		return -1
+	}
+	return v
 }
 
 func fatal(err error) {

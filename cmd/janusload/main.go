@@ -42,6 +42,13 @@ type report struct {
 	Coalesced int     `json:"coalesced"`
 	MemHits   int     `json:"cached_mem"`
 	DiskHits  int     `json:"cached_disk"`
+	// ShedIDs / FailedIDs are the server-assigned request ids of 429
+	// answers and failed requests — the handles to grep the daemon's logs
+	// and /debug/flightrecorder with.
+	ShedIDs   []string `json:"shed_request_ids,omitempty"`
+	FailedIDs []string `json:"failed_request_ids,omitempty"`
+	// SLOs echoes the daemon's /v1/stats burn-rate block after the run.
+	SLOs []janus.SLOSnapshot `json:"slos,omitempty"`
 }
 
 func main() {
@@ -85,12 +92,16 @@ func main() {
 				}
 				req := janus.ServiceRequest{PLA: plas[i%len(plas)], TimeoutMS: *timeoutMS}
 				t0 := time.Now()
-				resp, retries, err := submitWithRetry(client, req)
+				resp, retries, shedIDs, err := submitWithRetry(client, req)
 				lat := time.Since(t0)
 				mu.Lock()
 				rep.Retries += retries
+				rep.ShedIDs = append(rep.ShedIDs, shedIDs...)
 				if err != nil || resp.Status != "done" {
 					rep.Errors++
+					if id := requestID(resp, err); id != "" {
+						rep.FailedIDs = append(rep.FailedIDs, id)
+					}
 				} else {
 					latencies = append(latencies, lat)
 					switch resp.Cached {
@@ -122,6 +133,12 @@ func main() {
 	rep.P50MS = percentile(latencies, 0.50)
 	rep.P99MS = percentile(latencies, 0.99)
 
+	// The daemon's view of the run: SLO burn rates from /v1/stats.
+	// Older daemons without the endpoint just leave the block empty.
+	if st, err := client.ServerStats(context.Background()); err == nil {
+		rep.SLOs = st.SLOs
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		if err := enc.Encode(rep); err != nil {
@@ -134,6 +151,17 @@ func main() {
 		fmt.Printf("latency p50=%.1fms p99=%.1fms\n", rep.P50MS, rep.P99MS)
 		fmt.Printf("answers: %d fresh, %d coalesced, %d mem-cached, %d disk-cached\n",
 			rep.Fresh, rep.Coalesced, rep.MemHits, rep.DiskHits)
+		for _, slo := range rep.SLOs {
+			fmt.Printf("slo %s: %d/%d good (target %.0f%%, %.0fms objective), burn 5m=%.2f 1h=%.2f\n",
+				slo.Name, slo.Good, slo.Total, slo.Target*100,
+				slo.ObjectiveMS, slo.BurnRate5m, slo.BurnRate1h)
+		}
+		if len(rep.ShedIDs) > 0 {
+			fmt.Printf("shed request ids: %v\n", rep.ShedIDs)
+		}
+		if len(rep.FailedIDs) > 0 {
+			fmt.Printf("failed request ids: %v\n", rep.FailedIDs)
+		}
 	}
 	if rep.Errors > 0 {
 		os.Exit(1)
@@ -141,17 +169,22 @@ func main() {
 }
 
 // submitWithRetry retries backpressure answers (429) with the server's
-// Retry-After, a bounded number of times.
-func submitWithRetry(c *janus.Client, req janus.ServiceRequest) (*janus.ServiceResponse, int, error) {
+// Retry-After, a bounded number of times, collecting the request id of
+// every shed attempt.
+func submitWithRetry(c *janus.Client, req janus.ServiceRequest) (*janus.ServiceResponse, int, []string, error) {
 	retries := 0
+	var shedIDs []string
 	for {
 		resp, err := c.Synthesize(context.Background(), req)
 		if err == nil {
-			return resp, retries, nil
+			return resp, retries, shedIDs, nil
 		}
 		var ae *janus.APIError
 		if !errors.As(err, &ae) || ae.Code != 429 || retries >= 50 {
-			return nil, retries, err
+			return nil, retries, shedIDs, err
+		}
+		if ae.RequestID != "" {
+			shedIDs = append(shedIDs, ae.RequestID)
 		}
 		retries++
 		wait := ae.RetryAfter
@@ -160,6 +193,18 @@ func submitWithRetry(c *janus.Client, req janus.ServiceRequest) (*janus.ServiceR
 		}
 		time.Sleep(wait)
 	}
+}
+
+// requestID digs the server-assigned id out of a failed exchange.
+func requestID(resp *janus.ServiceResponse, err error) string {
+	if resp != nil && resp.RequestID != "" {
+		return resp.RequestID
+	}
+	var ae *janus.APIError
+	if errors.As(err, &ae) {
+		return ae.RequestID
+	}
+	return ""
 }
 
 // randomPLA builds a small deterministic SOP over the given input count.

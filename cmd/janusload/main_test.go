@@ -33,7 +33,7 @@ func TestSubmitWithRetry(t *testing.T) {
 	defer ts.Close()
 
 	start := time.Now()
-	resp, retries, err := submitWithRetry(janus.NewClient(ts.URL),
+	resp, retries, _, err := submitWithRetry(janus.NewClient(ts.URL),
 		janus.ServiceRequest{PLA: ".i 1\n.o 1\n1 1\n.e\n"})
 	if err != nil {
 		t.Fatal(err)
@@ -57,7 +57,7 @@ func TestSubmitWithRetryGivesUp(t *testing.T) {
 		http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
 	}))
 	defer ts.Close()
-	_, retries, err := submitWithRetry(janus.NewClient(ts.URL),
+	_, retries, _, err := submitWithRetry(janus.NewClient(ts.URL),
 		janus.ServiceRequest{PLA: ".i 1\n.o 1\n1 1\n.e\n"})
 	if err == nil || retries != 0 {
 		t.Fatalf("err = %v retries = %d, want immediate failure", err, retries)

@@ -1,10 +1,13 @@
 // Command tracesum aggregates a JSONL span trace produced by the -trace
-// flag of janus/tableii/tableiii/lm into per-phase and per-candidate
-// summary tables.
+// flag of janus/tableii/tableiii/lm — or fetched from janusd's
+// GET /v1/jobs/{id}/trace — into per-phase and per-candidate summary
+// tables. Service traces (even several concatenated) additionally get a
+// per-request outlier table keyed by the Job root spans: request id,
+// outcome, queue wait, and total duration, slowest first.
 //
 // Usage:
 //
-//	tracesum [-validate] [trace.jsonl]
+//	tracesum [-validate] [-top N] [trace.jsonl]
 //
 // Reads standard input when no file is given. The trace is always checked
 // against the span schema first; with -validate the command stops after
@@ -25,6 +28,7 @@ import (
 
 func main() {
 	validate := flag.Bool("validate", false, "only validate the trace against the span schema")
+	top := flag.Int("top", 10, "rows in the per-request outlier table (service traces)")
 	flag.Parse()
 
 	in := os.Stdin
@@ -48,9 +52,44 @@ func main() {
 		return
 	}
 
+	if byRequest(recs, *top) {
+		fmt.Println()
+	}
 	byName(recs)
 	fmt.Println()
 	byCandidate(recs)
+}
+
+// byRequest prints one row per Job root span — service traces carry one
+// per request — slowest first, capped at top rows. Returns false when
+// the trace has no Job spans (an engine-side trace).
+func byRequest(recs []obsv.Record, top int) bool {
+	var jobs []obsv.Record
+	for _, r := range recs {
+		if r.Span == "Job" {
+			jobs = append(jobs, r)
+		}
+	}
+	if len(jobs) == 0 {
+		return false
+	}
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].DurNS > jobs[j].DurNS })
+	if top > 0 && len(jobs) > top {
+		jobs = jobs[:top]
+	}
+	attr := func(r obsv.Record, key string) string {
+		if v, ok := r.Attrs[key].(string); ok {
+			return v
+		}
+		return "-"
+	}
+	t := report.NewTable("request", "job", "outcome", "queue wait", "total")
+	for _, j := range jobs {
+		t.Add(attr(j, "request_id"), attr(j, "job_id"), attr(j, "outcome"),
+			dur(attrInt(j, "queue_wait_ns")), dur(j.DurNS))
+	}
+	fmt.Print(t.String())
+	return true
 }
 
 // byName prints one row per span name: how often the pipeline entered that

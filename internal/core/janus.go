@@ -84,7 +84,12 @@ type Options struct {
 	Deadline time.Time
 	// Tracer, when non-nil, receives the synthesis' hierarchical span
 	// trace (Synthesize → DichotomicStep → Candidate → CegarIter →
-	// SatSolve) as JSONL; nil disables tracing at zero cost.
+	// SatSolve) as JSONL; nil disables tracing at zero cost. When nil,
+	// the tracer (and parent span) attached to Ctx via
+	// obsv.ContextWithTracer/ContextWithSpan is used instead — the
+	// carrier the service layer uses so per-job tracing crosses the
+	// queue without widening this struct at every hop; a request id on
+	// Ctx is stamped onto the root span as the request_id attribute.
 	Tracer *obsv.Tracer
 	// TraceParent nests this synthesis' root span under an existing
 	// span. Set automatically for DS and MF sub-syntheses; leave nil for
@@ -150,6 +155,11 @@ type Result struct {
 	// TransferredCEX totals the counterexample-entry clauses candidates
 	// inherited from entries other candidates discovered.
 	TransferredCEX int64
+	// GridsProbed lists the distinct lattice shapes ("MxN") whose LM
+	// problem the search attempted, in first-probe order, DS/MF
+	// sub-syntheses included. The flight recorder and job traces use it
+	// to explain where a request's time went.
+	GridsProbed []string
 	// Elapsed is the wall-clock synthesis time.
 	Elapsed time.Duration
 	// ISOP and DualISOP are the minimized forms the search operated on.
@@ -183,9 +193,20 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 		// is keyed by cover, so their different part-covers never collide).
 		opt.Encode.Shared = encode.NewSharedPool()
 	}
+	if opt.Tracer == nil {
+		// Ctx-carried tracing: the service attaches a per-job tracer and
+		// its Job root span to the context it hands us.
+		opt.Tracer = obsv.TracerFromContext(opt.Ctx)
+		if opt.TraceParent == nil {
+			opt.TraceParent = obsv.SpanFromContext(opt.Ctx)
+		}
+	}
 	root := obsv.Start(opt.Tracer, opt.TraceParent, "Synthesize")
 	defer root.End()
 	root.SetInt("inputs", int64(f.N))
+	if id := obsv.RequestIDFromContext(opt.Ctx); id != "" {
+		root.SetStr("request_id", id)
+	}
 	mSyntheses.Inc()
 
 	var isop, dual cube.Cover
@@ -308,6 +329,7 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 	res.SharedReused = st.reused
 	res.StampedClauses = st.stamped
 	res.TransferredCEX = st.transferred
+	res.GridsProbed = st.grids
 	res.Assignment = incumbent
 	res.Grid = incumbent.Grid
 	res.Size = incumbent.Size()
@@ -331,6 +353,21 @@ type lmStats struct {
 	reused      int64
 	stamped     int64
 	transferred int64
+	grids       []string
+	gridSeen    map[string]bool
+}
+
+// probe records one attempted lattice shape, deduplicated.
+func (st *lmStats) probe(g lattice.Grid) {
+	key := g.String()
+	if st.gridSeen[key] {
+		return
+	}
+	if st.gridSeen == nil {
+		st.gridSeen = make(map[string]bool)
+	}
+	st.gridSeen[key] = true
+	st.grids = append(st.grids, key)
 }
 
 // note folds one LM solve's counters in.
@@ -356,6 +393,15 @@ func (st *lmStats) noteResult(r Result) {
 	st.reused += r.SharedReused
 	st.stamped += r.StampedClauses
 	st.transferred += r.TransferredCEX
+	for _, g := range r.GridsProbed {
+		if !st.gridSeen[g] {
+			if st.gridSeen == nil {
+				st.gridSeen = make(map[string]bool)
+			}
+			st.gridSeen[g] = true
+			st.grids = append(st.grids, g)
+		}
+	}
 }
 
 // solveCandidates decides the LM problem for each candidate, sequentially
@@ -370,6 +416,7 @@ func solveCandidates(isop, dual cube.Cover, cands []lattice.Grid, opt Options, s
 			if opt.expired() {
 				break
 			}
+			st.probe(g)
 			r, err := encode.SolveLM(isop, dual, g, eopt)
 			if err != nil {
 				return nil, err
@@ -402,6 +449,7 @@ func solveCandidates(isop, dual cube.Cover, cands []lattice.Grid, opt Options, s
 		if errs[i] != nil {
 			return nil, errs[i]
 		}
+		st.probe(cands[i])
 		st.note(r)
 		if r.Status == sat.Sat {
 			if best == nil || r.Assignment.Size() < best.Size() {
@@ -592,6 +640,7 @@ func fixedRowSearch(p *part, rows, lo, hi int, opt Options, st *lmStats) *lattic
 		if rows*k > opt.maxCells() || opt.expired() {
 			break
 		}
+		st.probe(lattice.Grid{M: rows, N: k})
 		r, err := encode.SolveLM(p.isop, p.dual, lattice.Grid{M: rows, N: k}, opt.Encode)
 		if err != nil {
 			return best
@@ -686,6 +735,7 @@ func trimCols(p *part, rows, hi int, opt Options, st *lmStats) *lattice.Assignme
 		if opt.expired() {
 			break
 		}
+		st.probe(lattice.Grid{M: rows, N: k})
 		r, err := encode.SolveLM(p.isop, p.dual, lattice.Grid{M: rows, N: k}, opt.Encode)
 		if err != nil {
 			return best

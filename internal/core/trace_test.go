@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"github.com/lattice-tools/janus/internal/cube"
@@ -200,5 +201,65 @@ func TestTraceConcurrentWorkers(t *testing.T) {
 	}
 	if n < 2 {
 		t.Fatalf("expected multiple Candidate spans from the parallel search, got %d", n)
+	}
+}
+
+// TestTraceCtxCarried: a tracer, parent span, and request id attached to
+// Options.Ctx must drive the same span tree as Options.Tracer, nested
+// under the ctx span, with the request id stamped on the Synthesize root
+// — the carrier the service layer uses for per-job traces.
+func TestTraceCtxCarried(t *testing.T) {
+	buf := obsv.NewTraceBuffer(0, 0)
+	tracer := obsv.NewTracer(buf)
+	job := obsv.Start(tracer, nil, "Job")
+	ctx := obsv.ContextWithRequestID(
+		obsv.ContextWithSpan(
+			obsv.ContextWithTracer(context.Background(), tracer), job), "r-ctx-1")
+
+	opt := Options{Ctx: ctx}
+	opt.Encode.CEGAR = true
+	res, err := Synthesize(fig1(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != 8 {
+		t.Fatalf("size = %d, want 8", res.Size)
+	}
+	if len(res.GridsProbed) == 0 {
+		t.Fatal("no grids probed recorded")
+	}
+	job.End()
+
+	recs, err := obsv.ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obsv.ValidateRecords(recs); err != nil {
+		t.Fatal(err)
+	}
+	var jobID uint64
+	for _, r := range recs {
+		if r.Span == "Job" {
+			jobID = r.ID
+		}
+	}
+	if jobID == 0 {
+		t.Fatal("no Job root span")
+	}
+	found := false
+	for _, r := range recs {
+		if r.Span != "Synthesize" {
+			continue
+		}
+		found = true
+		if r.Parent != jobID {
+			t.Fatalf("Synthesize parent = %d, want the Job span %d", r.Parent, jobID)
+		}
+		if r.Attrs["request_id"] != "r-ctx-1" {
+			t.Fatalf("request_id attr = %v, want r-ctx-1", r.Attrs["request_id"])
+		}
+	}
+	if !found {
+		t.Fatal("no Synthesize span under the ctx-carried tracer")
 	}
 }

@@ -1,0 +1,107 @@
+package obsv
+
+import (
+	"bytes"
+	"io"
+	"sync"
+)
+
+// TraceBuffer default bounds: enough for the full span tree of a typical
+// service job (a few hundred spans) with headroom, while keeping the
+// worst case per retained job around a megabyte.
+const (
+	DefaultTraceSpans = 4096
+	DefaultTraceBytes = 1 << 20
+)
+
+// TraceBuffer is a bounded in-memory JSONL sink for a Tracer: the
+// service gives each job its own tracer writing here, keeps the buffer
+// on the finished job, and serves it back via GET /v1/jobs/{id}/trace.
+//
+// Each Write call is one span line (the Tracer emits exactly one line
+// per call, under its own mutex). When a bound is exceeded the OLDEST
+// lines are evicted, which keeps the remaining trace schema-valid:
+// spans are emitted in end order and a parent always ends after its
+// children, so every suffix of the line stream resolves all parent
+// references, and the job's root span — last to end — survives any
+// eviction. Dropped reports how many lines were evicted, so readers can
+// tell a truncated trace from a complete one.
+type TraceBuffer struct {
+	mu       sync.Mutex
+	lines    [][]byte
+	bytes    int64
+	maxSpans int
+	maxBytes int64
+	dropped  int64
+}
+
+// NewTraceBuffer returns a buffer bounded by maxSpans lines and maxBytes
+// total bytes; zero or negative values take the defaults.
+func NewTraceBuffer(maxSpans int, maxBytes int64) *TraceBuffer {
+	if maxSpans <= 0 {
+		maxSpans = DefaultTraceSpans
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultTraceBytes
+	}
+	return &TraceBuffer{maxSpans: maxSpans, maxBytes: maxBytes}
+}
+
+// Write stores one span line, evicting the oldest lines when a bound is
+// exceeded. It never fails; implements io.Writer for NewTracer.
+func (b *TraceBuffer) Write(p []byte) (int, error) {
+	line := append([]byte(nil), p...)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lines = append(b.lines, line)
+	b.bytes += int64(len(line))
+	for len(b.lines) > b.maxSpans || (b.bytes > b.maxBytes && len(b.lines) > 1) {
+		b.bytes -= int64(len(b.lines[0]))
+		b.lines[0] = nil
+		b.lines = b.lines[1:]
+		b.dropped++
+	}
+	return len(p), nil
+}
+
+// Spans returns the number of retained span lines.
+func (b *TraceBuffer) Spans() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.lines)
+}
+
+// Dropped returns how many span lines eviction discarded.
+func (b *TraceBuffer) Dropped() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Bytes returns the retained JSONL as one byte slice (a copy).
+func (b *TraceBuffer) Bytes() []byte {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var buf bytes.Buffer
+	buf.Grow(int(b.bytes))
+	for _, l := range b.lines {
+		buf.Write(l)
+	}
+	return buf.Bytes()
+}
+
+// WriteTo streams the retained JSONL to w.
+func (b *TraceBuffer) WriteTo(w io.Writer) (int64, error) {
+	data := b.Bytes()
+	n, err := w.Write(data)
+	return int64(n), err
+}

@@ -1,0 +1,122 @@
+package obsv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTraceBufferCapturesValidTrace: a span tree emitted through a
+// roomy buffer must read back as a schema-valid JSONL trace.
+func TestTraceBufferCapturesValidTrace(t *testing.T) {
+	buf := NewTraceBuffer(128, 1<<20)
+	tr := NewTracer(buf)
+	root := Start(tr, nil, "Job")
+	root.SetStr("request_id", "r-test")
+	for i := 0; i < 3; i++ {
+		c := root.Child("Candidate")
+		c.Child("SatSolve").End()
+		c.End()
+	}
+	root.End()
+
+	if buf.Spans() != 7 {
+		t.Fatalf("spans = %d, want 7", buf.Spans())
+	}
+	if buf.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", buf.Dropped())
+	}
+	n, err := ValidateTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	if n != 7 {
+		t.Fatalf("validated %d spans, want 7", n)
+	}
+	if !strings.Contains(string(buf.Bytes()), `"request_id":"r-test"`) {
+		t.Fatal("request id attribute missing from trace")
+	}
+}
+
+// TestTraceBufferBoundedGrowth: eviction must bound the buffer by span
+// count, drop the OLDEST lines, and leave a trace that still passes the
+// schema check (parents end after children, so every suffix resolves).
+func TestTraceBufferBoundedGrowth(t *testing.T) {
+	const max = 16
+	buf := NewTraceBuffer(max, 1<<20)
+	tr := NewTracer(buf)
+	root := Start(tr, nil, "Job")
+	for i := 0; i < 100; i++ {
+		root.Child("CegarIter").End()
+	}
+	root.End()
+
+	if got := buf.Spans(); got != max {
+		t.Fatalf("spans = %d, want %d", got, max)
+	}
+	if want := int64(101 - max); buf.Dropped() != want {
+		t.Fatalf("dropped = %d, want %d", buf.Dropped(), want)
+	}
+	if _, err := ValidateTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("evicted trace invalid: %v", err)
+	}
+	// The root ends last, so it must have survived eviction.
+	if !strings.Contains(string(buf.Bytes()), `"span":"Job"`) {
+		t.Fatal("root span evicted")
+	}
+}
+
+// TestTraceBufferByteBound: the byte bound evicts too, but never the
+// final line.
+func TestTraceBufferByteBound(t *testing.T) {
+	buf := NewTraceBuffer(1<<20, 600)
+	tr := NewTracer(buf)
+	root := Start(tr, nil, "Job")
+	for i := 0; i < 50; i++ {
+		root.Child("CegarIter").End()
+	}
+	root.End()
+
+	if buf.Dropped() == 0 {
+		t.Fatal("byte bound never evicted")
+	}
+	if got := len(buf.Bytes()); got > 600+200 { // one line of slack
+		t.Fatalf("buffer holds %d bytes, want ≈600", got)
+	}
+	if _, err := ValidateTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("evicted trace invalid: %v", err)
+	}
+}
+
+// TestTraceBufferConcurrentWrites: parallel span emission into one
+// buffer must be race-free and keep the line structure intact (runs
+// under -race in CI).
+func TestTraceBufferConcurrentWrites(t *testing.T) {
+	buf := NewTraceBuffer(64, 1<<20)
+	tr := NewTracer(buf)
+	root := Start(tr, nil, "Job")
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				root.Child("SatSolve").End()
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	root.End()
+	if _, err := ValidateTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("concurrent trace invalid: %v", err)
+	}
+}
+
+// TestTraceBufferNil: nil-receiver reads are safe no-ops.
+func TestTraceBufferNil(t *testing.T) {
+	var buf *TraceBuffer
+	if buf.Spans() != 0 || buf.Dropped() != 0 || buf.Bytes() != nil {
+		t.Fatal("nil TraceBuffer must read as empty")
+	}
+}

@@ -1,0 +1,27 @@
+package obsv
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// NewLogger returns a JSON slog logger writing to w at the given level —
+// the structured access/lifecycle log format janusd emits (one JSON
+// object per line, machine-greppable next to the JSONL traces).
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// NopLogger returns a logger that discards everything, with Enabled
+// reporting false so disabled call sites skip attribute evaluation. The
+// service defaults to it when no logger is configured, keeping call
+// sites free of nil checks.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }

@@ -163,3 +163,43 @@ func TestServeDebug(t *testing.T) {
 		t.Fatal("/debug/pprof/cmdline empty")
 	}
 }
+
+// TestHistogramSnapshotConcurrent hammers one histogram from many
+// goroutines while a reader snapshots the registry, asserting every
+// snapshot's count is monotone and the final snapshot is exact: count,
+// sum, and buckets all agree with the observations made (run with -race).
+func TestHistogramSnapshotConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("janus_test_ns")
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(int64(i%1000) << (w % 10))
+			}
+		}(w)
+	}
+	var prev int64 = -1
+	for i := 0; i < 200; i++ {
+		hs := r.Snapshot().Histograms["janus_test_ns"]
+		if hs.Count < prev {
+			t.Fatalf("snapshot %d: count went backwards %d -> %d", i, prev, hs.Count)
+		}
+		prev = hs.Count
+	}
+	wg.Wait()
+	hs := r.Snapshot().Histograms["janus_test_ns"]
+	if hs.Count != workers*perWorker {
+		t.Fatalf("final count = %d, want %d", hs.Count, workers*perWorker)
+	}
+	var bsum int64
+	for _, b := range hs.Buckets {
+		bsum += b
+	}
+	if bsum != hs.Count {
+		t.Fatalf("bucket sum %d != count %d", bsum, hs.Count)
+	}
+}

@@ -1,0 +1,160 @@
+package obsv
+
+import (
+	"sync"
+	"time"
+)
+
+// SLO buckets: ten-second resolution over a one-hour horizon, plus one
+// bucket so the oldest full bucket of the 1h window is never the one
+// currently being written.
+const (
+	sloBucketSec = 10
+	sloBuckets   = 361
+)
+
+// SLO tracks one endpoint's latency objective: the fraction of requests
+// answered within Objective must stay at or above Target. Observations
+// land in lifetime good/total counters plus a ring of ten-second buckets,
+// from which multi-window burn rates are computed — the standard paging
+// signal: burn rate 1.0 means the error budget (1−target) is being spent
+// exactly as fast as it accrues; rates well above 1 on both a short and a
+// long window mean the objective is actively being burned through, not
+// just seeing a blip. A nil *SLO discards observations and snapshots to
+// zero, so a disabled SLO costs one pointer check.
+type SLO struct {
+	name      string
+	objective time.Duration
+	target    float64
+
+	mu          sync.Mutex
+	good, total int64
+	buckets     [sloBuckets]sloBucket
+}
+
+type sloBucket struct {
+	epoch       int64
+	good, total int64
+}
+
+// NewSLO defines an objective: name labels the endpoint, objective is the
+// latency threshold a good request meets, target the required good
+// fraction (defaulted to 0.99 when out of (0,1)).
+func NewSLO(name string, objective time.Duration, target float64) *SLO {
+	if target <= 0 || target >= 1 {
+		target = 0.99
+	}
+	return &SLO{name: name, objective: objective, target: target}
+}
+
+// Observe records one request latency.
+func (s *SLO) Observe(d time.Duration) { s.ObserveAt(time.Now(), d) }
+
+// ObserveAt is Observe with an explicit clock (tests).
+func (s *SLO) ObserveAt(now time.Time, d time.Duration) {
+	if s == nil {
+		return
+	}
+	epoch := now.Unix() / sloBucketSec
+	b := &s.buckets[int(epoch%sloBuckets+sloBuckets)%sloBuckets]
+	s.mu.Lock()
+	if b.epoch != epoch {
+		b.epoch, b.good, b.total = epoch, 0, 0
+	}
+	b.total++
+	s.total++
+	if d <= s.objective {
+		b.good++
+		s.good++
+	}
+	s.mu.Unlock()
+}
+
+// windowLocked sums the buckets of the last n*10s ending at nowEpoch.
+func (s *SLO) windowLocked(nowEpoch int64, n int) (good, total int64) {
+	for i := 0; i < n; i++ {
+		e := nowEpoch - int64(i)
+		if e < 0 {
+			break
+		}
+		b := &s.buckets[int(e%sloBuckets+sloBuckets)%sloBuckets]
+		if b.epoch == e {
+			good += b.good
+			total += b.total
+		}
+	}
+	return good, total
+}
+
+// burnRate converts a window's good/total into budget-burn speed.
+func (s *SLO) burnRate(good, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	bad := float64(total-good) / float64(total)
+	return bad / (1 - s.target)
+}
+
+// SLOSnapshot is the JSON form of an SLO's state (/v1/stats).
+type SLOSnapshot struct {
+	Name        string  `json:"name"`
+	ObjectiveMS float64 `json:"objective_ms"`
+	Target      float64 `json:"target"`
+	Good        int64   `json:"good"`
+	Total       int64   `json:"total"`
+	// BurnRate5m and BurnRate1h are the error-budget burn speeds over the
+	// last five minutes and hour; 1.0 spends the budget exactly at the
+	// sustainable rate, larger is faster.
+	BurnRate5m float64 `json:"burn_rate_5m"`
+	BurnRate1h float64 `json:"burn_rate_1h"`
+}
+
+// Snapshot reads the SLO's current state.
+func (s *SLO) Snapshot() SLOSnapshot { return s.SnapshotAt(time.Now()) }
+
+// SnapshotAt is Snapshot with an explicit clock (tests).
+func (s *SLO) SnapshotAt(now time.Time) SLOSnapshot {
+	if s == nil {
+		return SLOSnapshot{}
+	}
+	epoch := now.Unix() / sloBucketSec
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g5, t5 := s.windowLocked(epoch, 5*60/sloBucketSec)
+	g1h, t1h := s.windowLocked(epoch, 3600/sloBucketSec)
+	return SLOSnapshot{
+		Name:        s.name,
+		ObjectiveMS: float64(s.objective) / float64(time.Millisecond),
+		Target:      s.target,
+		Good:        s.good,
+		Total:       s.total,
+		BurnRate5m:  s.burnRate(g5, t5),
+		BurnRate1h:  s.burnRate(g1h, t1h),
+	}
+}
+
+// Register publishes the SLO into a registry as function-backed gauges
+// under prefix: _good_total, _total, and the burn rates in milli-units
+// (the registry is integer-valued), e.g. prefix_burn_5m_milli == 1000
+// at burn rate 1.0.
+func (s *SLO) Register(r *Registry, prefix string) {
+	if s == nil || r == nil {
+		return
+	}
+	r.RegisterFunc(prefix+"_good_total", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.good
+	})
+	r.RegisterFunc(prefix+"_total", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.total
+	})
+	r.RegisterFunc(prefix+"_burn_5m_milli", func() int64 {
+		return int64(s.Snapshot().BurnRate5m * 1000)
+	})
+	r.RegisterFunc(prefix+"_burn_1h_milli", func() int64 {
+		return int64(s.Snapshot().BurnRate1h * 1000)
+	})
+}

@@ -1,0 +1,122 @@
+package obsv
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSLOBurnRates: at a 99% target, a window with 10% bad requests
+// burns budget at 10x the sustainable rate; an all-good window burns 0.
+func TestSLOBurnRates(t *testing.T) {
+	s := NewSLO("synthesize", 100*time.Millisecond, 0.99)
+	now := time.Unix(1_000_000, 0)
+	for i := 0; i < 90; i++ {
+		s.ObserveAt(now, 10*time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		s.ObserveAt(now, time.Second)
+	}
+	snap := s.SnapshotAt(now)
+	if snap.Good != 90 || snap.Total != 100 {
+		t.Fatalf("good/total = %d/%d, want 90/100", snap.Good, snap.Total)
+	}
+	if math.Abs(snap.BurnRate5m-10) > 1e-9 {
+		t.Fatalf("burn_5m = %v, want 10", snap.BurnRate5m)
+	}
+	if math.Abs(snap.BurnRate1h-10) > 1e-9 {
+		t.Fatalf("burn_1h = %v, want 10", snap.BurnRate1h)
+	}
+}
+
+// TestSLOWindowExpiry: bad observations older than a window stop
+// contributing to that window's burn rate but stay in the 1h window and
+// the lifetime counters.
+func TestSLOWindowExpiry(t *testing.T) {
+	s := NewSLO("synthesize", 100*time.Millisecond, 0.99)
+	t0 := time.Unix(2_000_000, 0)
+	s.ObserveAt(t0, time.Second) // bad
+	s.ObserveAt(t0, 10*time.Millisecond)
+
+	// Ten minutes later: outside 5m, inside 1h.
+	t1 := t0.Add(10 * time.Minute)
+	for i := 0; i < 8; i++ {
+		s.ObserveAt(t1, 10*time.Millisecond)
+	}
+	snap := s.SnapshotAt(t1)
+	if snap.BurnRate5m != 0 {
+		t.Fatalf("burn_5m = %v, want 0 (bad request aged out)", snap.BurnRate5m)
+	}
+	if snap.BurnRate1h == 0 {
+		t.Fatal("burn_1h lost the bad request inside its window")
+	}
+	if snap.Good != 9 || snap.Total != 10 {
+		t.Fatalf("lifetime good/total = %d/%d, want 9/10", snap.Good, snap.Total)
+	}
+
+	// Two hours later every window is clean.
+	t2 := t0.Add(2 * time.Hour)
+	snap = s.SnapshotAt(t2)
+	if snap.BurnRate5m != 0 || snap.BurnRate1h != 0 {
+		t.Fatalf("burn after 2h = %v/%v, want 0/0", snap.BurnRate5m, snap.BurnRate1h)
+	}
+}
+
+// TestSLORegister: the registry surfaces the SLO as function-backed
+// gauges, burn rates in milli-units.
+func TestSLORegister(t *testing.T) {
+	r := NewRegistry()
+	s := NewSLO("ep", 50*time.Millisecond, 0.9)
+	s.Register(r, "janus_service_slo_ep")
+	now := time.Now()
+	s.ObserveAt(now, 10*time.Millisecond)
+	s.ObserveAt(now, time.Second)
+	snap := r.Snapshot()
+	if snap.Gauges["janus_service_slo_ep_total"] != 2 ||
+		snap.Gauges["janus_service_slo_ep_good_total"] != 1 {
+		t.Fatalf("registry gauges: %+v", snap.Gauges)
+	}
+	// 50% bad over a 10% budget = burn 5.0 = 5000 milli.
+	if got := snap.Gauges["janus_service_slo_ep_burn_5m_milli"]; got != 5000 {
+		t.Fatalf("burn gauge = %d, want 5000", got)
+	}
+}
+
+// TestSLONil: a nil SLO observes and snapshots as a no-op.
+func TestSLONil(t *testing.T) {
+	var s *SLO
+	s.Observe(time.Second)
+	if snap := s.Snapshot(); snap.Total != 0 {
+		t.Fatalf("nil SLO snapshot: %+v", snap)
+	}
+}
+
+// TestSLOConcurrentSnapshot: parallel observers and snapshotters must be
+// race-free (runs under -race in CI).
+func TestSLOConcurrentSnapshot(t *testing.T) {
+	s := NewSLO("ep", 50*time.Millisecond, 0.99)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Observe(time.Duration(i) * time.Millisecond)
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if snap := s.Snapshot(); snap.Total != 2000 {
+		t.Fatalf("total = %d, want 2000", snap.Total)
+	}
+}

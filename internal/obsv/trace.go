@@ -92,6 +92,15 @@ func Start(t *Tracer, parent *Span, name string) *Span {
 	return sp
 }
 
+// Tracer returns the span's tracer (nil on a nil span), for callers that
+// hold a span and need the tracer itself, e.g. to carry in a context.
+func (sp *Span) Tracer() *Tracer {
+	if sp == nil {
+		return nil
+	}
+	return sp.t
+}
+
 // Child opens a sub-span; on a nil receiver it returns nil.
 func (sp *Span) Child(name string) *Span {
 	if sp == nil {

@@ -36,9 +36,12 @@ func (c *Client) http() *http.Client {
 
 // APIError reports a non-2xx API answer, preserving the code so
 // callers can react to backpressure (429) and drain (503) distinctly.
+// RequestID, when the server sent one, names this request in the
+// daemon's logs and flight recorder.
 type APIError struct {
 	Code       int
 	Message    string
+	RequestID  string
 	RetryAfter time.Duration
 }
 
@@ -72,10 +75,13 @@ func (c *Client) do(ctx context.Context, method, path string, body, into any) er
 		return err
 	}
 	if resp.StatusCode >= 400 {
-		se := &APIError{Code: resp.StatusCode}
+		se := &APIError{Code: resp.StatusCode, RequestID: resp.Header.Get("X-Request-Id")}
 		var r Response
 		if json.Unmarshal(data, &r) == nil && r.Error != "" {
 			se.Message = r.Error
+			if r.RequestID != "" {
+				se.RequestID = r.RequestID
+			}
 		} else {
 			se.Message = strings.TrimSpace(string(data))
 		}
@@ -141,4 +147,42 @@ func (c *Client) Health(ctx context.Context) (*Stats, error) {
 		return nil, err
 	}
 	return &st, nil
+}
+
+// ServerStats reads /v1/stats: queue health plus SLO burn rates.
+func (c *Client) ServerStats(ctx context.Context) (*Stats, error) {
+	var st Stats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// JobTrace fetches a finished job's span trace as raw JSONL.
+func (c *Client) JobTrace(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/jobs/"+id+"/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		se := &APIError{Code: resp.StatusCode, RequestID: resp.Header.Get("X-Request-Id")}
+		var r Response
+		if json.Unmarshal(data, &r) == nil && r.Error != "" {
+			se.Message = r.Error
+		} else {
+			se.Message = strings.TrimSpace(string(data))
+		}
+		return nil, se
+	}
+	return data, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
 	"time"
 
@@ -21,33 +22,98 @@ const waitGrace = 250 * time.Millisecond
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/synthesize   run (or join, or answer from cache) a synthesis
-//	GET  /v1/jobs/{id}    poll a job
-//	GET  /healthz         queue health; 503 while draining
-//	/metrics, /debug/…    the obsv debug surface, for single-port setups
+//	POST /v1/synthesize         run (or join, or answer from cache) a synthesis
+//	GET  /v1/jobs/{id}          poll a job
+//	GET  /v1/jobs/{id}/trace    a finished job's span trace, as JSONL
+//	GET  /v1/stats              queue health + SLO burn rates
+//	GET  /healthz               queue health; 503 while draining
+//	GET  /debug/flightrecorder  recent request summaries
+//	/metrics, /debug/…          the obsv debug surface, for single-port setups
+//
+// Every response carries an X-Request-Id header (the inbound one when
+// the client sent a plausible value, minted otherwise) and every handler
+// emits one JSON access log line.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/synthesize", s.instrument("synthesize", s.sloSynth, slog.LevelInfo, s.handleSynthesize))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.sloJobs, slog.LevelInfo, s.handleJob))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.instrument("trace", nil, slog.LevelInfo, s.handleJobTrace))
+	mux.HandleFunc("GET /v1/stats", s.instrument("stats", nil, slog.LevelDebug, s.handleStats))
+	// Health probes fire every few seconds; keep their access logs at
+	// debug so the log stream stays about real work.
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", nil, slog.LevelDebug, s.handleHealthz))
+	mux.HandleFunc("GET /debug/flightrecorder", s.instrument("flightrecorder", nil, slog.LevelDebug, s.handleFlightRecorder))
 	mux.Handle("/metrics", obsv.DebugHandler(nil))
 	mux.Handle("/debug/", obsv.DebugHandler(nil))
 	return mux
 }
 
+// statusWriter captures the status code for access logs and SLO counting.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(c int) {
+	w.code = c
+	w.ResponseWriter.WriteHeader(c)
+}
+
+// instrument wraps a handler with the request-scoped plumbing: resolve
+// the request id (honor a plausible inbound X-Request-Id, mint
+// otherwise), echo it on the response, carry it in the request context,
+// observe the endpoint SLO, and write one access log line.
+func (s *Server) instrument(endpoint string, slo *obsv.SLO, lvl slog.Level, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := sanitizeRequestID(r.Header.Get("X-Request-Id"))
+		if id == "" {
+			id = s.newRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r.WithContext(obsv.ContextWithRequestID(r.Context(), id)))
+		d := time.Since(start)
+		slo.Observe(d)
+		s.log.Log(r.Context(), lvl, "http",
+			"endpoint", endpoint, "method", r.Method, "path", r.URL.Path,
+			"status", sw.code, "request_id", id, "dur_ms", float64(d)/1e6)
+	}
+}
+
+// sanitizeRequestID accepts an inbound id only when it is short and
+// unambiguously printable, so hostile headers cannot smuggle log or
+// header noise; anything else is discarded and a fresh id minted.
+func sanitizeRequestID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.' || c == ':':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
 func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	reqID := obsv.RequestIDFromContext(r.Context())
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, err.Error(), reqID)
 		return
 	}
 	// Bound the wait to the request budget (plus grace) so an abandoned
 	// connection is the only way to give up earlier than the job does.
 	p, err := parseRequest(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, err.Error(), reqID)
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(),
@@ -58,11 +124,11 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrBusy):
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, err.Error())
+			writeError(w, http.StatusTooManyRequests, err.Error(), reqID)
 		case errors.Is(err, ErrDraining):
-			writeError(w, http.StatusServiceUnavailable, err.Error())
+			writeError(w, http.StatusServiceUnavailable, err.Error(), reqID)
 		default:
-			writeError(w, http.StatusBadRequest, err.Error())
+			writeError(w, http.StatusBadRequest, err.Error(), reqID)
 		}
 		return
 	}
@@ -74,12 +140,43 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	reqID := obsv.RequestIDFromContext(r.Context())
 	resp, ok := s.Job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job")
+		writeError(w, http.StatusNotFound, "unknown job", reqID)
 		return
 	}
+	resp.RequestID = reqID
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	reqID := obsv.RequestIDFromContext(r.Context())
+	data, err := s.JobTrace(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, err.Error(), reqID)
+	case errors.Is(err, ErrNotFinished):
+		writeError(w, http.StatusConflict, err.Error(), reqID)
+	case errors.Is(err, ErrNoTrace):
+		writeError(w, http.StatusNotFound, err.Error(), reqID)
+	default:
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write(data) //nolint:errcheck // client gone is not actionable
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	if !s.FlightEnabled() {
+		writeError(w, http.StatusNotFound, "flight recorder disabled",
+			obsv.RequestIDFromContext(r.Context()))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Flight())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -97,6 +194,6 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is not actionable
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, Response{Status: StatusError, Error: msg})
+func writeError(w http.ResponseWriter, code int, msg, reqID string) {
+	writeJSON(w, code, Response{Status: StatusError, Error: msg, RequestID: reqID})
 }

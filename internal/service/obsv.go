@@ -21,4 +21,9 @@ var (
 	gRunning     = obsv.Default.Gauge("janus_service_running_jobs")
 	gMemoLoaded  = obsv.Default.Gauge("janus_service_memo_paths_loaded")
 	hRequestNS   = obsv.Default.Histogram("janus_service_request_ns")
+	hQueueWaitNS = obsv.Default.Histogram("janus_service_queue_wait_ns")
+	hSolveNS     = obsv.Default.Histogram("janus_service_solve_ns")
+
+	mFlightEntries = obsv.Default.Counter("janus_service_flight_entries_total")
+	mTracesPinned  = obsv.Default.Counter("janus_service_traces_pinned_total")
 )

@@ -64,8 +64,13 @@ type ResultJSON struct {
 // Response is the wire form of a job's state. For a finished job exactly
 // one of Result and Error is set.
 type Response struct {
-	JobID  string `json:"job_id,omitempty"`
-	Status string `json:"status"`
+	JobID string `json:"job_id,omitempty"`
+	// RequestID echoes the request's id (inbound X-Request-Id, or minted
+	// by the server) on success AND error bodies, so every answer —
+	// including a 429 shed — can be found in the logs and the flight
+	// recorder.
+	RequestID string `json:"request_id,omitempty"`
+	Status    string `json:"status"`
 	// Cached says where a done answer came from: "mem", "disk",
 	// "coalesced", or "" for a fresh synthesis.
 	Cached string      `json:"cached,omitempty"`

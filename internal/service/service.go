@@ -20,13 +20,16 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"log/slog"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/lattice-tools/janus/internal/core"
 	"github.com/lattice-tools/janus/internal/cube"
 	"github.com/lattice-tools/janus/internal/memo"
+	"github.com/lattice-tools/janus/internal/obsv"
 )
 
 // Config sizes the service. The zero value is usable: two workers, a
@@ -53,6 +56,30 @@ type Config struct {
 	// SynthWorkers is core.Options.Workers for each job: intra-synthesis
 	// candidate parallelism, on top of the job-level pool (default 1).
 	SynthWorkers int
+
+	// TraceJobs bounds how many finished jobs keep their full span trace
+	// retrievable via GET /v1/jobs/{id}/trace (default 64; negative
+	// disables per-job tracing, leaving only the flight recorder).
+	TraceJobs int
+	// TraceSpans / TraceBytes bound each job's trace buffer (defaults
+	// obsv.DefaultTraceSpans / obsv.DefaultTraceBytes).
+	TraceSpans int
+	TraceBytes int64
+	// FlightEntries sizes the flight recorder's request-summary ring
+	// (default 256; negative disables the recorder).
+	FlightEntries int
+	// SlowTrace pins the full trace of any job at least this slow
+	// (queue wait + solve) in the flight recorder, alongside errored and
+	// canceled jobs (default 2s; negative disables the slow rule).
+	SlowTrace time.Duration
+	// SynthSLO / JobsSLO are the per-endpoint latency objectives behind
+	// the burn-rate gauges (defaults 30s and 100ms); SLOTarget is the
+	// good fraction both must meet (default 0.99).
+	SynthSLO  time.Duration
+	JobsSLO   time.Duration
+	SLOTarget float64
+	// Logger receives JSON access and job lifecycle logs; nil discards.
+	Logger *slog.Logger
 }
 
 func (c *Config) fill() {
@@ -70,6 +97,37 @@ func (c *Config) fill() {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = time.Hour
+	}
+	// Zero means default, negative means disabled (normalized to 0).
+	switch {
+	case c.TraceJobs == 0:
+		c.TraceJobs = 64
+	case c.TraceJobs < 0:
+		c.TraceJobs = 0
+	}
+	switch {
+	case c.FlightEntries == 0:
+		c.FlightEntries = 256
+	case c.FlightEntries < 0:
+		c.FlightEntries = 0
+	}
+	switch {
+	case c.SlowTrace == 0:
+		c.SlowTrace = 2 * time.Second
+	case c.SlowTrace < 0:
+		c.SlowTrace = 0
+	}
+	if c.SynthSLO <= 0 {
+		c.SynthSLO = 30 * time.Second
+	}
+	if c.JobsSLO <= 0 {
+		c.JobsSLO = 100 * time.Millisecond
+	}
+	if c.SLOTarget <= 0 || c.SLOTarget >= 1 {
+		c.SLOTarget = 0.99
+	}
+	if c.Logger == nil {
+		c.Logger = obsv.NopLogger()
 	}
 }
 
@@ -89,14 +147,23 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	mu        sync.Mutex
-	draining  bool
-	queue     chan *job
-	inflight  map[string]*job // queued or running, by canonical key
-	jobs      map[string]*job // by id, finished jobs retained
-	doneOrder []string        // finished ids, oldest first
-	seq       uint64
-	nonce     string
+	// flight is nil when the recorder is disabled; sloSynth/sloJobs are
+	// nil-safe and only observed from the HTTP layer.
+	flight   *flightRecorder
+	sloSynth *obsv.SLO
+	sloJobs  *obsv.SLO
+	log      *slog.Logger
+	reqSeq   atomic.Uint64
+
+	mu         sync.Mutex
+	draining   bool
+	queue      chan *job
+	inflight   map[string]*job // queued or running, by canonical key
+	jobs       map[string]*job // by id, finished jobs retained
+	doneOrder  []string        // finished ids, oldest first
+	traceOrder []string        // finished ids still holding a trace buffer
+	seq        uint64
+	nonce      string
 
 	// budgets indexes finished answers by budget-free function key, so a
 	// request whose exact (function, budget) key misses can still be
@@ -116,17 +183,21 @@ type Server struct {
 // out, waiters, async) are guarded by the server mutex; done closes when
 // the job reaches a terminal status.
 type job struct {
-	id       string
-	key      string
-	p        *parsedRequest
-	deadline time.Time
-	ctx      context.Context
-	cancel   context.CancelFunc
-	waiters  int
-	async    bool
-	status   string
-	out      *outcome
-	done     chan struct{}
+	id        string
+	key       string
+	requestID string // the admitting request's id, stamped on the trace
+	p         *parsedRequest
+	enqueued  time.Time
+	deadline  time.Time
+	ctx       context.Context
+	cancel    context.CancelFunc
+	waiters   int
+	async     bool
+	status    string
+	queueWait time.Duration
+	trace     *obsv.TraceBuffer // nil until running, or with tracing off
+	out       *outcome
+	done      chan struct{}
 }
 
 // NewServer builds the service, loads the persistent tier (results and
@@ -145,6 +216,14 @@ func NewServer(cfg Config) (*Server, error) {
 	var nonce [4]byte
 	rand.Read(nonce[:]) //nolint:errcheck // crypto/rand never fails on supported platforms
 	s.nonce = hex.EncodeToString(nonce[:])
+	s.log = cfg.Logger
+	if cfg.FlightEntries > 0 {
+		s.flight = newFlightRecorder(cfg.FlightEntries, cfg.SlowTrace)
+	}
+	s.sloSynth = obsv.NewSLO("synthesize", cfg.SynthSLO, cfg.SLOTarget)
+	s.sloJobs = obsv.NewSLO("jobs", cfg.JobsSLO, cfg.SLOTarget)
+	s.sloSynth.Register(obsv.Default, "janus_service_slo_synthesize")
+	s.sloJobs.Register(obsv.Default, "janus_service_slo_jobs")
 	if cfg.CacheDir != "" {
 		disk, err := openDiskCache(filepath.Join(cfg.CacheDir, "results"),
 			cfg.DiskEntries, cfg.DiskBytes)
@@ -186,25 +265,50 @@ var (
 func (s *Server) Synthesize(ctx context.Context, req Request) (*Response, error) {
 	start := time.Now()
 	mRequests.Inc()
+	reqID := obsv.RequestIDFromContext(ctx)
+	if reqID == "" {
+		reqID = s.newRequestID()
+		ctx = obsv.ContextWithRequestID(ctx, reqID)
+	}
 	p, err := parseRequest(req)
 	if err != nil {
 		return nil, err
 	}
 	if out, where, ok := s.cached(p.key); ok {
 		hRequestNS.Observe(int64(time.Since(start)))
-		return respond(out, "", where), nil
+		s.flight.record(FlightEntry{
+			Time: start, RequestID: reqID, FnKey: fnPrefix(p.fnKey),
+			Outcome: out.Status, Cached: where, Grid: outcomeGrid(out),
+			TotalNS: int64(time.Since(start)),
+		})
+		return withRequestID(respond(out, "", where), reqID), nil
 	}
 	if out, where, ok := s.budgetHit(p); ok {
 		hRequestNS.Observe(int64(time.Since(start)))
-		return respond(out, "", where), nil
+		s.flight.record(FlightEntry{
+			Time: start, RequestID: reqID, FnKey: fnPrefix(p.fnKey),
+			Outcome: out.Status, Cached: where, Grid: outcomeGrid(out),
+			TotalNS: int64(time.Since(start)),
+		})
+		return withRequestID(respond(out, "", where), reqID), nil
 	}
-	j, coalesced, err := s.admit(p)
+	j, coalesced, err := s.admit(p, reqID)
 	if err != nil {
+		// Shed and drain refusals go in the flight recorder too: a burst
+		// of 429s is exactly the kind of incident it exists to replay.
+		oc := outcomeShed
+		if err == ErrDraining {
+			oc = outcomeDraining
+		}
+		s.flight.record(FlightEntry{
+			Time: start, RequestID: reqID, FnKey: fnPrefix(p.fnKey),
+			Outcome: oc, Error: err.Error(), TotalNS: int64(time.Since(start)),
+		})
 		return nil, err
 	}
 	if req.Async {
 		s.mu.Lock()
-		resp := &Response{JobID: j.id, Status: j.status}
+		resp := &Response{JobID: j.id, Status: j.status, RequestID: reqID}
 		s.mu.Unlock()
 		return resp, nil
 	}
@@ -215,14 +319,50 @@ func (s *Server) Synthesize(ctx context.Context, req Request) (*Response, error)
 	}
 	select {
 	case <-j.done:
-		return respond(j.out, j.id, cached), nil
+		if coalesced {
+			// The leader's job entry is recorded by run(); followers get
+			// their own entry pointing at the job that answered them.
+			s.flight.record(FlightEntry{
+				Time: start, RequestID: reqID, JobID: j.id, CoalescedInto: j.id,
+				FnKey: fnPrefix(p.fnKey), Outcome: j.out.Status, Cached: cached,
+				Grid: outcomeGrid(j.out), TotalNS: int64(time.Since(start)),
+			})
+		}
+		return withRequestID(respond(j.out, j.id, cached), reqID), nil
 	case <-ctx.Done():
 		s.abandon(j)
 		s.mu.Lock()
-		resp := &Response{JobID: j.id, Status: j.status}
+		resp := &Response{JobID: j.id, Status: j.status, RequestID: reqID}
 		s.mu.Unlock()
 		return resp, nil
 	}
+}
+
+// newRequestID mints a process-unique request id.
+func (s *Server) newRequestID() string {
+	return fmt.Sprintf("r%s-%d", s.nonce, s.reqSeq.Add(1))
+}
+
+// withRequestID stamps the request id on a response.
+func withRequestID(r *Response, id string) *Response {
+	r.RequestID = id
+	return r
+}
+
+// fnPrefix shortens a function key for logs and flight entries.
+func fnPrefix(k string) string {
+	if len(k) > 12 {
+		return k[:12]
+	}
+	return k
+}
+
+// outcomeGrid formats a done outcome's lattice shape ("3x4").
+func outcomeGrid(out *outcome) string {
+	if out == nil || out.Result == nil {
+		return ""
+	}
+	return fmt.Sprintf("%dx%d", out.Result.M, out.Result.N)
 }
 
 // cached resolves a key against the memory tier and then the disk tier,
@@ -244,7 +384,7 @@ func (s *Server) cached(key string) (*outcome, string, bool) {
 // admit coalesces the request onto an identical in-flight job or
 // enqueues a new one, all under the mutex so admission cannot race
 // Shutdown's queue close.
-func (s *Server) admit(p *parsedRequest) (*job, bool, error) {
+func (s *Server) admit(p *parsedRequest, reqID string) (*job, bool, error) {
 	timeout := p.timeout(s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -261,14 +401,16 @@ func (s *Server) admit(p *parsedRequest) (*job, bool, error) {
 	}
 	s.seq++
 	j := &job{
-		id:       fmt.Sprintf("j%s-%d", s.nonce, s.seq),
-		key:      p.key,
-		p:        p,
-		deadline: time.Now().Add(timeout),
-		waiters:  1,
-		async:    p.req.Async,
-		status:   StatusQueued,
-		done:     make(chan struct{}),
+		id:        fmt.Sprintf("j%s-%d", s.nonce, s.seq),
+		key:       p.key,
+		requestID: reqID,
+		p:         p,
+		enqueued:  time.Now(),
+		deadline:  time.Now().Add(timeout),
+		waiters:   1,
+		async:     p.req.Async,
+		status:    StatusQueued,
+		done:      make(chan struct{}),
 	}
 	// The job deadline covers queue wait plus synthesis and holds even
 	// after every waiter is gone, so async jobs cannot run forever.
@@ -283,6 +425,9 @@ func (s *Server) admit(p *parsedRequest) (*job, bool, error) {
 	gQueueDepth.Set(int64(len(s.queue)))
 	s.inflight[p.key] = j
 	s.jobs[j.id] = j
+	s.log.Info("job queued", "job_id", j.id, "request_id", reqID,
+		"fn_key", fnPrefix(p.fnKey), "async", j.async,
+		"timeout_ms", timeout.Milliseconds(), "queue_depth", len(s.queue))
 	return j, false, nil
 }
 
@@ -333,24 +478,52 @@ func (s *Server) worker() {
 }
 
 // run executes one job: skip it when already cancelled in the queue,
-// otherwise synthesize under the job context and publish the outcome.
+// otherwise synthesize under the job context — with the job's tracer,
+// span, and request id carried in it — and publish the outcome, one
+// flight entry per job.
 func (s *Server) run(j *job) {
+	var jobSpan *obsv.Span
 	s.mu.Lock()
 	if j.ctx.Err() == context.Canceled {
 		s.finishLocked(j, &outcome{Status: StatusCanceled, Error: "canceled while queued"})
 		s.mu.Unlock()
+		s.flight.record(FlightEntry{
+			Time: j.enqueued, RequestID: j.requestID, JobID: j.id,
+			FnKey: fnPrefix(j.p.fnKey), Outcome: StatusCanceled,
+			Error: "canceled while queued", TotalNS: int64(time.Since(j.enqueued)),
+		})
+		s.log.Info("job canceled while queued", "job_id", j.id, "request_id", j.requestID)
 		return
 	}
 	j.status = StatusRunning
+	j.queueWait = time.Since(j.enqueued)
+	if s.cfg.TraceJobs > 0 {
+		// j.trace is assigned under the mutex so JobTrace never races it.
+		j.trace = obsv.NewTraceBuffer(s.cfg.TraceSpans, s.cfg.TraceBytes)
+		jobSpan = obsv.Start(obsv.NewTracer(j.trace), nil, "Job")
+	}
 	s.mu.Unlock()
+	hQueueWaitNS.Observe(int64(j.queueWait))
+
+	jobSpan.SetStr("job_id", j.id)
+	jobSpan.SetStr("request_id", j.requestID)
+	jobSpan.SetStr("fn_key", fnPrefix(j.p.fnKey))
+	jobSpan.SetInt("queue_wait_ns", int64(j.queueWait))
+	ctx := obsv.ContextWithRequestID(j.ctx, j.requestID)
+	if jobSpan != nil {
+		ctx = obsv.ContextWithSpan(obsv.ContextWithTracer(ctx, jobSpan.Tracer()), jobSpan)
+	}
 
 	gRunning.Add(1)
+	started := time.Now()
 	opt := j.p.coreOptions()
-	opt.Ctx = j.ctx
+	opt.Ctx = ctx
 	opt.Workers = s.cfg.SynthWorkers
 	opt.Deadline = j.deadline
 	res, err := s.synth(j.p.cover, opt)
+	solve := time.Since(started)
 	gRunning.Add(-1)
+	hSolveNS.Observe(int64(solve))
 	ctxErr := j.ctx.Err() // read before cancel() makes it context.Canceled
 	j.cancel()            // release the deadline timer
 
@@ -374,6 +547,31 @@ func (s *Server) run(j *job) {
 		s.disk.put(j.key, out)
 		s.recordBudget(j.p, res.MatchedLB)
 	}
+	jobSpan.SetStr("outcome", out.Status)
+	if out.Result != nil {
+		jobSpan.SetInt("size", int64(out.Result.Size))
+	}
+	jobSpan.End() // last span to end: survives any buffer eviction
+
+	total := j.queueWait + solve
+	entry := FlightEntry{
+		Time: j.enqueued, RequestID: j.requestID, JobID: j.id,
+		FnKey: fnPrefix(j.p.fnKey), Outcome: out.Status, Error: out.Error,
+		Grid: outcomeGrid(out), GridsProbed: res.GridsProbed,
+		QueueWaitNS: int64(j.queueWait), SolveNS: int64(solve), TotalNS: int64(total),
+	}
+	if s.flight.shouldPin(out.Status, total) {
+		if b := j.trace.Bytes(); len(b) > 0 {
+			s.flight.pin(j.id, b)
+			entry.TracePinned = true
+		}
+	}
+	s.flight.record(entry)
+	s.log.Info("job finished", "job_id", j.id, "request_id", j.requestID,
+		"outcome", out.Status, "grid", entry.Grid,
+		"queue_wait_ms", j.queueWait.Milliseconds(), "solve_ms", solve.Milliseconds(),
+		"trace_pinned", entry.TracePinned)
+
 	s.mu.Lock()
 	s.finishLocked(j, out)
 	s.mu.Unlock()
@@ -391,27 +589,103 @@ func (s *Server) finishLocked(j *job, out *outcome) {
 		delete(s.jobs, s.doneOrder[0])
 		s.doneOrder = s.doneOrder[1:]
 	}
+	// Traces are retained on a shorter window than job states: beyond
+	// TraceJobs finished jobs only the flight recorder's pins survive.
+	if j.trace != nil {
+		s.traceOrder = append(s.traceOrder, j.id)
+		for len(s.traceOrder) > s.cfg.TraceJobs {
+			if oj, ok := s.jobs[s.traceOrder[0]]; ok {
+				oj.trace = nil
+			}
+			s.traceOrder = s.traceOrder[1:]
+		}
+	}
 	close(j.done)
 }
 
-// Stats is the /healthz body.
-type Stats struct {
-	Draining    bool  `json:"draining"`
-	QueueDepth  int   `json:"queue_depth"`
-	Workers     int   `json:"workers"`
-	DiskEntries int   `json:"disk_entries"`
-	MemoLoaded  int64 `json:"memo_paths_loaded"`
+// Errors JobTrace distinguishes for the HTTP layer.
+var (
+	// ErrUnknownJob: no job with that id (never existed or retention
+	// evicted it).
+	ErrUnknownJob = fmt.Errorf("service: unknown job")
+	// ErrNotFinished: the job exists but has not reached a terminal
+	// status; its trace is still being written.
+	ErrNotFinished = fmt.Errorf("service: job not finished")
+	// ErrNoTrace: the job finished but no trace is retained (tracing
+	// disabled, or evicted from the TraceJobs window without a pin).
+	ErrNoTrace = fmt.Errorf("service: no trace retained")
+)
+
+// JobTrace returns a finished job's span trace as JSONL (the schema
+// obsv.ValidateTrace checks). Pinned traces in the flight recorder are
+// consulted as a fallback, so slow or failed jobs stay inspectable after
+// the normal retention window moves past them.
+func (s *Server) JobTrace(id string) ([]byte, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var buf *obsv.TraceBuffer
+	var finished bool
+	if ok {
+		finished = j.out != nil
+		buf = j.trace
+	}
+	s.mu.Unlock()
+	if !ok {
+		if b, pinned := s.flight.pinnedTrace(id); pinned {
+			return b, nil
+		}
+		return nil, ErrUnknownJob
+	}
+	if !finished {
+		return nil, ErrNotFinished
+	}
+	if buf == nil {
+		if b, pinned := s.flight.pinnedTrace(id); pinned {
+			return b, nil
+		}
+		return nil, ErrNoTrace
+	}
+	return buf.Bytes(), nil
 }
 
-// Stats reports queue health.
+// Flight returns the flight recorder's current contents (empty when the
+// recorder is disabled).
+func (s *Server) Flight() FlightDump {
+	return s.flight.dump()
+}
+
+// FlightEnabled reports whether the recorder is on.
+func (s *Server) FlightEnabled() bool { return s.flight != nil }
+
+// Stats is the /healthz and /v1/stats body.
+type Stats struct {
+	Draining      bool  `json:"draining"`
+	QueueDepth    int   `json:"queue_depth"`
+	QueueCapacity int   `json:"queue_capacity"`
+	Running       int64 `json:"running_jobs"`
+	Workers       int   `json:"workers"`
+	DiskEntries   int   `json:"disk_entries"`
+	MemoLoaded    int64 `json:"memo_paths_loaded"`
+	TracedJobs    int   `json:"traced_jobs"`
+	// SLOs carries the per-endpoint burn-rate snapshots (omitted on
+	// /healthz responses from older daemons; clients must treat it as
+	// optional).
+	SLOs []obsv.SLOSnapshot `json:"slos,omitempty"`
+}
+
+// Stats reports queue health and the endpoint SLO burn rates.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	draining := s.draining
 	depth := len(s.queue)
+	traced := len(s.traceOrder)
 	s.mu.Unlock()
 	return Stats{
-		Draining: draining, QueueDepth: depth, Workers: s.cfg.Workers,
+		Draining: draining, QueueDepth: depth, QueueCapacity: s.cfg.QueueDepth,
+		Running: gRunning.Value(), Workers: s.cfg.Workers,
 		DiskEntries: s.disk.len(), MemoLoaded: gMemoLoaded.Value(),
+		TracedJobs: traced,
+		SLOs:       []obsv.SLOSnapshot{s.sloSynth.Snapshot(), s.sloJobs.Snapshot()},
 	}
 }
 
@@ -427,7 +701,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.draining = true
 	close(s.queue)
+	depth := len(s.queue)
 	s.mu.Unlock()
+	s.log.Info("draining", "queue_depth", depth)
 
 	drained := make(chan struct{})
 	go func() {

@@ -99,6 +99,14 @@ type (
 	Client = service.Client
 	// APIError is a non-2xx janusd answer, carrying the HTTP code.
 	APIError = service.APIError
+	// FlightDump is the /debug/flightrecorder body: recent request
+	// summaries plus the ids of pinned traces.
+	FlightDump = service.FlightDump
+	// FlightEntry is one request summary in the flight recorder.
+	FlightEntry = service.FlightEntry
+	// SLOSnapshot is one endpoint's latency-objective state (good/total
+	// counters and multi-window burn rates), as served on /v1/stats.
+	SLOSnapshot = obsv.SLOSnapshot
 )
 
 // NewServer builds the synthesis service and starts its worker pool;
