@@ -17,6 +17,7 @@ import (
 	"github.com/lattice-tools/janus/internal/core"
 	"github.com/lattice-tools/janus/internal/encode"
 	"github.com/lattice-tools/janus/internal/lattice"
+	"github.com/lattice-tools/janus/internal/memo"
 	"github.com/lattice-tools/janus/internal/minimize"
 	"github.com/lattice-tools/janus/internal/sat"
 )
@@ -344,27 +345,45 @@ func BenchmarkCegarEngine(b *testing.B) {
 	}
 }
 
-// BenchmarkSharedSearch compares the whole dichotomic search with fresh
-// per-candidate CEGAR solvers against the shared assumption-based
-// solver. "stamped-clauses" is the clause volume actually built in
-// shared mode; compare it against the fresh run's "added-clauses" to
-// see how much construction the activation-literal reuse avoids, and
-// the ns/op columns for the wall-clock effect.
+// BenchmarkSharedSearch compares the whole dichotomic search across the
+// three engine strategies: fresh per-candidate CEGAR solvers, the shared
+// assumption-based solver, and the auto policy that picks per step.
+// "stamped-clauses" is the clause volume actually built when a shared
+// pool runs; compare it against the fresh run's "clauses-added" to see
+// how much construction the activation-literal reuse avoids, and the
+// ns/op columns for the wall-clock effect. The auto rows additionally
+// report the policy trail (shared/fresh step counts, predicted depth)
+// and the clause-quality filter's work — the inputs to the
+// engine_policy block of BENCH_janus.json and its perfgate rule.
+//
+// Every iteration starts from cleared memo caches: the process-wide
+// path/table/cover caches would otherwise let iteration order decide
+// how much enumeration work each mode pays, and the instances are
+// chosen so the dichotomic search actually runs (dc1_02 and b12_03,
+// measured here before, have lb == nub — their searches decide zero LM
+// problems and every solver metric reads zero regardless of engine).
 func BenchmarkSharedSearch(b *testing.B) {
-	insts := []string{"dc1_02", "b12_03", "mp2d_06", "misex1_04"}
+	insts := []string{"dc1_00", "dc1_03", "mp2d_06", "misex1_04"}
+	modes := []struct {
+		name string
+		sel  core.EngineSelect
+	}{
+		{"fresh", core.EngineFresh},
+		{"shared", core.EngineShared},
+		{"auto", core.EngineAuto},
+	}
 	for _, name := range insts {
 		f, _ := benchdata.Lookup(name).Function()
-		for _, shared := range []bool{false, true} {
-			mode := "fresh"
-			if shared {
-				mode = "shared"
-			}
-			b.Run(name+"/"+mode, func(b *testing.B) {
+		for _, mode := range modes {
+			b.Run(name+"/"+mode.name, func(b *testing.B) {
 				var r core.Result
-				opt := core.Options{SharedSolver: shared}
+				opt := core.Options{EngineSelect: mode.sel}
 				opt.Encode.CEGAR = true
 				opt.Encode.Limits = benchLimits()
 				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					memo.Reset()
+					b.StartTimer()
 					var err error
 					r, err = core.Synthesize(f, opt)
 					if err != nil {
@@ -373,10 +392,20 @@ func BenchmarkSharedSearch(b *testing.B) {
 				}
 				b.ReportMetric(float64(r.Size), "switches")
 				b.ReportMetric(float64(r.ClausesAdded), "clauses-added")
-				if shared {
+				if r.FreshSteps+r.SharedSteps == 0 {
+					b.Fatalf("%s: no dichotomic step ran; pick an instance with lb < nub", name)
+				}
+				if mode.sel != core.EngineFresh {
 					b.ReportMetric(float64(r.StampedClauses), "stamped-clauses")
 					b.ReportMetric(float64(r.SharedReused), "solver-reuses")
 					b.ReportMetric(float64(r.TransferredCEX), "cex-transferred")
+					b.ReportMetric(float64(r.CEXFiltered), "cex-filtered")
+					b.ReportMetric(float64(r.LearntsPruned), "learnts-pruned")
+				}
+				if mode.sel == core.EngineAuto {
+					b.ReportMetric(float64(r.SharedSteps), "shared-steps")
+					b.ReportMetric(float64(r.FreshSteps), "fresh-steps")
+					b.ReportMetric(float64(r.PredictedDepth), "predicted-depth")
 				}
 			})
 		}

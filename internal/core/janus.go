@@ -69,6 +69,17 @@ type Options struct {
 	// and cancelling the loser (the ROADMAP's portfolio solving item).
 	// Implies the CEGAR engine for LM solves.
 	Portfolio bool
+	// EngineSelect picks the LM solver strategy per dichotomic step. The
+	// default, EngineAuto, predicts each step's remaining search depth
+	// from the bounds gap, the cover breadth, and the LM problems solved
+	// so far, and chooses fresh per-candidate engines below
+	// EngineThreshold and the shared assumption-based pool at or above
+	// it. EngineShared and EngineFresh pin every step. Ignored under
+	// Portfolio, whose racing orientations need independent solvers.
+	EngineSelect EngineSelect
+	// EngineThreshold tunes the auto policy's fresh/shared crossover
+	// (zero means DefaultEngineThreshold).
+	EngineThreshold int
 	// SharedSolver keeps one assumption-based SAT solver alive per
 	// (cover, orientation) for the whole search and shares it across
 	// every candidate grid — of one dichotomic midpoint and of adjacent
@@ -77,6 +88,10 @@ type Options struct {
 	// and CEGAR counterexample entries transfer between candidates
 	// (see encode.SharedPool). Implies the CEGAR engine; ignored under
 	// Portfolio, whose racing orientations need independent solvers.
+	//
+	// Deprecated: SharedSolver is the pre-policy spelling of
+	// EngineSelect = EngineShared and is kept for compatibility; the auto
+	// policy subsumes it as the default.
 	SharedSolver bool
 	// Deadline is the absolute form of Budget; set automatically, and
 	// inherited by DS/MF sub-syntheses so nested searches share the same
@@ -155,6 +170,22 @@ type Result struct {
 	// TransferredCEX totals the counterexample-entry clauses candidates
 	// inherited from entries other candidates discovered.
 	TransferredCEX int64
+	// Engine is the engine policy's overall verdict for the search:
+	// "fresh", "shared", "mixed" (steps of both kinds, DS/MF
+	// sub-syntheses included), or "" when no dichotomic step ran.
+	Engine string
+	// PredictedDepth is the policy's depth score at this synthesis' first
+	// dichotomic step (zero when the bounds met before any step).
+	PredictedDepth int
+	// SharedSteps and FreshSteps count the dichotomic steps each engine
+	// kind ran, sub-syntheses included.
+	SharedSteps, FreshSteps int
+	// CEXFiltered totals the counterexample entries the shared engines'
+	// transfer quality filter declined to stamp; LearntsPruned the learnt
+	// clauses they shed on grid switches. Both are speed-only knobs —
+	// see encode.Options.CEXTransferLimit.
+	CEXFiltered   int64
+	LearntsPruned int64
 	// GridsProbed lists the distinct lattice shapes ("MxN") whose LM
 	// problem the search attempted, in first-probe order, DS/MF
 	// sub-syntheses included. The flight recorder and job traces use it
@@ -186,12 +217,22 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 	if opt.Portfolio {
 		opt.Encode.Portfolio = true
 	}
-	if opt.SharedSolver && !opt.Portfolio && opt.Encode.Shared == nil {
-		// One pool per synthesis: the engines grow with every skeleton, so
-		// they should live exactly as long as the search amortizing them.
-		// DS and MF sub-syntheses inherit the pool through opt.Encode (it
-		// is keyed by cover, so their different part-covers never collide).
-		opt.Encode.Shared = encode.NewSharedPool()
+	// Engine policy: resolve the selection mode once; EngineShared gets
+	// its pool up front so DS and MF sub-syntheses inherit it through
+	// opt.Encode (keyed by cover, so their part-covers never collide).
+	// EngineAuto creates a pool lazily at the first step the depth
+	// predictor sends to the shared engine; sub-syntheses then decide for
+	// their own searches. One pool per synthesis either way: the engines
+	// grow with every skeleton, so they should live exactly as long as
+	// the search amortizing them.
+	engineMode := opt.engineMode()
+	switch engineMode {
+	case EngineShared:
+		if opt.Encode.Shared == nil {
+			opt.Encode.Shared = encode.NewSharedPool()
+		}
+	default:
+		opt.Encode.Shared = nil
 	}
 	if opt.Tracer == nil {
 		// Ctx-carried tracing: the service attaches a per-job tracer and
@@ -292,6 +333,7 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 	// anything of area ≤ mp fits, a maximal grid fits. The upper bound
 	// updates to the area actually found, which may be below mp.
 	ub := incumbent.Size()
+	pool := opt.Encode.Shared // non-nil iff engineMode == EngineShared
 	srchSpan, srchDone := phase(root, "Search", mPhaseSrchNS)
 	for lb < ub && !opt.expired() {
 		mp := (lb + ub) / 2
@@ -302,7 +344,31 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 		step.SetInt("mp", int64(mp))
 		cands := candidates(mp, lb, opt.maxCells())
 		step.SetInt("candidates", int64(len(cands)))
-		best, err := solveCandidates(isop, dual, cands, opt, step, &st)
+		// Engine policy: forced modes pin the step; auto predicts the
+		// remaining depth and, once a step has gone shared, stays there —
+		// the pool's skeletons and entries only gain value.
+		depth := predictDepth(ub-lb, len(isop.Cubes)+len(dual.Cubes), st.solved)
+		useShared := engineMode == EngineShared
+		if engineMode == EngineAuto {
+			useShared = pool != nil || depth >= opt.engineThreshold()
+		}
+		stepOpt := opt
+		if useShared {
+			if pool == nil {
+				// A pool opened mid-search starts cold while earlier fresh
+				// steps already paid for counterexamples; seed it with them
+				// so the flip doesn't re-derive known entries.
+				pool = encode.NewSharedPool()
+				pool.Warm(isop, dual, opt.Encode, st.cexInputs)
+			}
+			stepOpt.Encode.Shared = pool
+		} else {
+			stepOpt.Encode.Shared = nil
+		}
+		st.decide(useShared, depth)
+		step.SetStr("engine", engineName(useShared))
+		step.SetInt("predicted_depth", int64(depth))
+		best, err := solveCandidates(isop, dual, cands, stepOpt, step, &st)
 		if err != nil {
 			step.SetStr("outcome", "error")
 			step.End()
@@ -330,6 +396,12 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 	res.StampedClauses = st.stamped
 	res.TransferredCEX = st.transferred
 	res.GridsProbed = st.grids
+	res.Engine = st.engineVerdict()
+	res.PredictedDepth = st.firstDepth
+	res.SharedSteps = st.sharedSteps
+	res.FreshSteps = st.freshSteps
+	res.CEXFiltered = st.filtered
+	res.LearntsPruned = st.pruned
 	res.Assignment = incumbent
 	res.Grid = incumbent.Grid
 	res.Size = incumbent.Size()
@@ -338,6 +410,10 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 	root.SetStr("grid", res.Grid.String())
 	root.SetInt("size", int64(res.Size))
 	root.SetInt("lm_solved", int64(res.LMSolved))
+	if res.Engine != "" {
+		root.SetStr("engine", res.Engine)
+		root.SetInt("predicted_depth", int64(res.PredictedDepth))
+	}
 	return res, nil
 }
 
@@ -353,8 +429,64 @@ type lmStats struct {
 	reused      int64
 	stamped     int64
 	transferred int64
+	filtered    int64
+	pruned      int64
 	grids       []string
 	gridSeen    map[string]bool
+	// Engine policy trail: per-step decisions (sub-syntheses folded in
+	// via noteResult) and the depth score of this synthesis' own first
+	// step (depthSet guards it against DS sub-results arriving first).
+	sharedSteps, freshSteps int
+	firstDepth              int
+	depthSet                bool
+	// cexInputs is the deduplicated trail of target inputs where fresh
+	// main-loop candidates mismatched (encode.Result.CEXInputs). If the
+	// auto policy later opens a shared pool, these warm it so the pool
+	// doesn't rediscover what fresh steps already proved. Only main-loop
+	// solves feed it: DS sub-syntheses work on different sub-covers,
+	// whose counterexamples say nothing about this target.
+	cexInputs []uint64
+	cexSeen   map[uint64]bool
+}
+
+// noteCEX folds fresh-engine counterexample inputs in, deduplicated.
+func (st *lmStats) noteCEX(inputs []uint64) {
+	for _, in := range inputs {
+		if st.cexSeen[in] {
+			continue
+		}
+		if st.cexSeen == nil {
+			st.cexSeen = make(map[uint64]bool)
+		}
+		st.cexSeen[in] = true
+		st.cexInputs = append(st.cexInputs, in)
+	}
+}
+
+// decide records one dichotomic step's engine choice.
+func (st *lmStats) decide(shared bool, depth int) {
+	if !st.depthSet {
+		st.firstDepth = depth
+		st.depthSet = true
+	}
+	if shared {
+		st.sharedSteps++
+	} else {
+		st.freshSteps++
+	}
+}
+
+// engineVerdict summarizes the recorded decisions.
+func (st *lmStats) engineVerdict() string {
+	switch {
+	case st.sharedSteps > 0 && st.freshSteps > 0:
+		return "mixed"
+	case st.sharedSteps > 0:
+		return "shared"
+	case st.freshSteps > 0:
+		return "fresh"
+	}
+	return ""
 }
 
 // probe records one attempted lattice shape, deduplicated.
@@ -382,6 +514,8 @@ func (st *lmStats) note(r encode.Result) {
 	st.reused += int64(r.ReusedSolvers)
 	st.stamped += int64(r.StampedClauses)
 	st.transferred += int64(r.TransferredCEXClauses)
+	st.filtered += int64(r.TransferFiltered)
+	st.pruned += int64(r.PrunedLearnts)
 }
 
 // noteResult folds a sub-synthesis' aggregated counters in.
@@ -393,6 +527,10 @@ func (st *lmStats) noteResult(r Result) {
 	st.reused += r.SharedReused
 	st.stamped += r.StampedClauses
 	st.transferred += r.TransferredCEX
+	st.filtered += r.CEXFiltered
+	st.pruned += r.LearntsPruned
+	st.sharedSteps += r.SharedSteps
+	st.freshSteps += r.FreshSteps
 	for _, g := range r.GridsProbed {
 		if !st.gridSeen[g] {
 			if st.gridSeen == nil {
@@ -422,6 +560,7 @@ func solveCandidates(isop, dual cube.Cover, cands []lattice.Grid, opt Options, s
 				return nil, err
 			}
 			st.note(r)
+			st.noteCEX(r.CEXInputs)
 			if r.Status == sat.Sat {
 				return r.Assignment, nil
 			}
@@ -451,6 +590,7 @@ func solveCandidates(isop, dual cube.Cover, cands []lattice.Grid, opt Options, s
 		}
 		st.probe(cands[i])
 		st.note(r)
+		st.noteCEX(r.CEXInputs)
 		if r.Status == sat.Sat {
 			if best == nil || r.Assignment.Size() < best.Size() {
 				best = r.Assignment

@@ -77,7 +77,14 @@ type MultiResult struct {
 	SharedReused   int64
 	StampedClauses int64
 	TransferredCEX int64
-	Elapsed        time.Duration
+	// Engine policy aggregates over every per-output search and the
+	// row-reduction phase: step counts per engine kind, and the clause
+	// quality filter's drop/prune totals (see Result).
+	Engine                  string
+	SharedSteps, FreshSteps int
+	CEXFiltered             int64
+	LearntsPruned           int64
+	Elapsed                 time.Duration
 }
 
 // Sol formats the lattice shape like the paper's Table III ("3x135").
@@ -140,6 +147,11 @@ func SynthesizeMulti(fns []cube.Cover, opt Options, reduce bool) (*MultiResult, 
 	mr.SharedReused = st.reused
 	mr.StampedClauses = st.stamped
 	mr.TransferredCEX = st.transferred
+	mr.Engine = st.engineVerdict()
+	mr.SharedSteps = st.sharedSteps
+	mr.FreshSteps = st.freshSteps
+	mr.CEXFiltered = st.filtered
+	mr.LearntsPruned = st.pruned
 	ml := packMulti(parts, targets)
 	if err := ml.Verify(); err != nil {
 		return nil, err

@@ -145,3 +145,107 @@ func TestSharedCountersThreaded(t *testing.T) {
 		t.Fatalf("shared run: added=%d stamped=%d must agree", r.ClausesAdded, r.StampedClauses)
 	}
 }
+
+// TestSharedFilteredSearchMatchesCegar pins the soundness of the clause
+// quality filter: with the counterexample transfer cap and the learnt
+// prune forced to their most aggressive settings, the shared-pool search
+// must still return the same minimum lattice size as the per-candidate
+// CEGAR engine on ≥200 random covers. The filter may only drop clauses a
+// skeleton would re-derive — a skeleton holding a subset of the engine's
+// counterexample entries is a coarser relaxation of the same LM problem,
+// so Unsat answers stay definitive and Sat answers are still verified by
+// simulation. A divergence here means the filter broke that invariant.
+func TestSharedFilteredSearchMatchesCegar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2424))
+	trials := 200
+	if testing.Short() {
+		trials = 40
+	}
+	checked := 0
+	for trial := 0; trial < trials; trial++ {
+		n := 3 + rng.Intn(4) // 3..6 inputs
+		raw := randomRawCover(rng, n, 2+rng.Intn(3))
+		if len(raw.Cubes) == 0 {
+			continue
+		}
+		checked++
+		base, err := Synthesize(raw, Options{Encode: encode.Options{CEGAR: true}})
+		if err != nil {
+			t.Fatalf("trial %d (cegar): %v", trial, err)
+		}
+		opt := Options{EngineSelect: EngineShared}
+		opt.Encode.CEXTransferLimit = 1 // stamp at most one missing entry per reuse
+		opt.Encode.SharedLearntLBD = 1  // prune all but the glue clauses
+		opt.Encode.SharedLearntSize = 3
+		filtered, err := Synthesize(raw, opt)
+		if err != nil {
+			t.Fatalf("trial %d (filtered shared): %v", trial, err)
+		}
+		if base.Size != filtered.Size {
+			t.Fatalf("trial %d: cegar size %d (grid %v) vs filtered shared size %d (grid %v) for %v",
+				trial, base.Size, base.Grid, filtered.Size, filtered.Grid, raw)
+		}
+		if filtered.Assignment == nil || !filtered.Assignment.Realizes(filtered.ISOP) {
+			t.Fatalf("trial %d: filtered shared answer unverified", trial)
+		}
+	}
+	if checked < trials*9/10 {
+		t.Fatalf("only %d/%d trials exercised", checked, trials)
+	}
+}
+
+// TestWarmedMixedSearchMatchesCegar forces the auto policy to flip from
+// fresh to shared mid-search: the threshold is pinned just above the
+// first step's depth score, so the first dichotomic step runs fresh and
+// the depth growth from its solves flips later steps to a pool — which
+// is then warmed from the fresh steps' counterexample trail
+// (SharedPool.Warm). Results must match the fresh engine exactly, and
+// the sweep must actually produce mixed-engine runs for the flip path
+// to count as exercised.
+func TestWarmedMixedSearchMatchesCegar(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	trials := 80
+	if testing.Short() {
+		trials = 20
+	}
+	checked, mixed := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		n := 3 + rng.Intn(4) // 3..6 inputs
+		raw := randomRawCover(rng, n, 2+rng.Intn(3))
+		if len(raw.Cubes) == 0 {
+			continue
+		}
+		checked++
+		base, err := Synthesize(raw, Options{Encode: encode.Options{CEGAR: true}})
+		if err != nil {
+			t.Fatalf("trial %d (cegar): %v", trial, err)
+		}
+		// One depth unit above the first step's score: step one stays
+		// fresh, and every LM solve it performs adds 4 to the score, so
+		// any second step flips shared and triggers the mid-search warm.
+		gap := base.NUB - base.LB
+		prods := len(base.ISOP.Cubes) + len(base.DualISOP.Cubes)
+		opt := Options{EngineSelect: EngineAuto,
+			EngineThreshold: predictDepth(gap, prods, 0) + 1}
+		auto, err := Synthesize(raw, opt)
+		if err != nil {
+			t.Fatalf("trial %d (mixed auto): %v", trial, err)
+		}
+		if base.Size != auto.Size {
+			t.Fatalf("trial %d: cegar size %d (grid %v) vs mixed size %d (grid %v) for %v",
+				trial, base.Size, base.Grid, auto.Size, auto.Grid, raw)
+		}
+		if auto.Assignment == nil || !auto.Assignment.Realizes(auto.ISOP) {
+			t.Fatalf("trial %d: mixed answer unverified", trial)
+		}
+		if auto.Engine == "mixed" {
+			mixed++
+		}
+	}
+	if checked < trials*9/10 {
+		t.Fatalf("only %d/%d trials exercised", checked, trials)
+	}
+	if mixed == 0 {
+		t.Fatal("no trial mixed engines; the mid-search warm path was never exercised")
+	}
+}

@@ -93,6 +93,7 @@ func SolveLMCegar(target, targetDual cube.Cover, g lattice.Grid, opt Options) (R
 	}
 
 	var res Result
+	var inputs []uint64 // CEXInputs merged across both orientation attempts
 	sawUnknown := false
 	for _, a := range attempts {
 		var r Result
@@ -108,8 +109,10 @@ func SolveLMCegar(target, targetDual cube.Cover, g lattice.Grid, opt Options) (R
 		if err != nil {
 			return r, err
 		}
+		inputs = append(inputs, r.CEXInputs...)
 		res = r
 		if r.Status == sat.Sat {
+			r.CEXInputs = inputs
 			return r, nil
 		}
 		if r.Status == sat.Unknown {
@@ -119,6 +122,7 @@ func SolveLMCegar(target, targetDual cube.Cover, g lattice.Grid, opt Options) (R
 	if sawUnknown {
 		res.Status = sat.Unknown
 	}
+	res.CEXInputs = inputs
 	return res, nil
 }
 
@@ -252,6 +256,7 @@ func cegarOne(enc, target cube.Cover, targetTab *truth.Table, g lattice.Grid,
 		}
 		iterSpan.SetStr("outcome", "counterexample")
 		iterSpan.SetInt("cex", int64(entry))
+		res.CEXInputs = append(res.CEXInputs, cex)
 		addEntry(entry)
 		iterSpan.End()
 	}

@@ -88,6 +88,25 @@ type Options struct {
 	// under Portfolio, whose two racing goroutines need independent
 	// solvers.
 	Shared *SharedPool
+	// CEXTransferLimit caps how many already-known counterexample entries
+	// the shared engine transfers into a grid skeleton per solve, most
+	// recent first; older entries are dropped and rediscovered on demand.
+	// The filter is speed-only: a skeleton holding fewer entries is a
+	// coarser relaxation of the same LM problem, so Unsat stays definitive
+	// and Sat is still verified by simulation — answers never change, only
+	// how much stale clause freight a shallow candidate pays for. Zero
+	// means DefaultCEXTransferLimit; negative disables the filter
+	// (transfer everything). Ignored without Shared.
+	CEXTransferLimit int
+	// SharedLearntLBD and SharedLearntSize gate the learnt clauses a
+	// shared engine keeps when it switches to a different candidate grid:
+	// learnts with LBD above SharedLearntLBD or more than SharedLearntSize
+	// literals are pruned (sat.Solver.PruneLearnts), shedding watch-list
+	// freight that mostly mentions the previous grid's activation literal.
+	// Zero means the defaults; negative keeps every learnt clause.
+	// Ignored without Shared.
+	SharedLearntLBD  int
+	SharedLearntSize int
 	// Limits bounds each SAT call.
 	Limits sat.Limits
 	// Span, when non-nil, is the parent trace span under which this LM
@@ -101,6 +120,47 @@ func (o Options) longThreshold() int {
 		return 5
 	}
 	return o.LongProductThreshold
+}
+
+// Defaults of the shared engine's clause-quality filter. The transfer
+// limit keeps roughly the CEGAR working set of one candidate (a few dozen
+// entries converge on the paper's instances); the learnt gates mirror the
+// "keep the good half" spirit of the solver's own reduceDB but act at
+// grid-switch time, when the learnt database is most biased toward the
+// previous grid.
+const (
+	DefaultCEXTransferLimit = 24
+	DefaultSharedLearntLBD  = 6
+	DefaultSharedLearntSize = 30
+)
+
+// cexTransferLimit resolves the per-solve entry-transfer cap; -1 means
+// unlimited.
+func (o Options) cexTransferLimit() int {
+	if o.CEXTransferLimit == 0 {
+		return DefaultCEXTransferLimit
+	}
+	if o.CEXTransferLimit < 0 {
+		return -1
+	}
+	return o.CEXTransferLimit
+}
+
+// learntPrune resolves the grid-switch learnt gates; on is false when the
+// caller asked to keep everything.
+func (o Options) learntPrune() (maxLBD int32, maxSize int, on bool) {
+	if o.SharedLearntLBD < 0 || o.SharedLearntSize < 0 {
+		return 0, 0, false
+	}
+	maxLBD = int32(o.SharedLearntLBD)
+	if maxLBD == 0 {
+		maxLBD = DefaultSharedLearntLBD
+	}
+	maxSize = o.SharedLearntSize
+	if maxSize == 0 {
+		maxSize = DefaultSharedLearntSize
+	}
+	return maxLBD, maxSize, true
 }
 
 // Result reports the outcome of an LM solve.
@@ -141,6 +201,23 @@ type Result struct {
 	// counterexample entries discovered by *other* candidates — knowledge
 	// this solve got for free.
 	TransferredCEXClauses int
+	// TransferFiltered counts the already-known counterexample entries the
+	// quality filter declined to transfer into this solve's skeleton (the
+	// drop count next to TransferredCEXClauses' kept clauses); dropped
+	// entries are rediscovered by refinement if they matter.
+	TransferFiltered int
+	// PrunedLearnts counts the learnt clauses the shared engine pruned
+	// from its solver (LBD/size gate) when this solve switched it to a
+	// different candidate grid.
+	PrunedLearnts int
+	// CEXInputs are the inputs of the target (primal truth-table
+	// indexes) where this solve's candidate mappings mismatched during
+	// refinement. They are function-level knowledge, independent of grid
+	// and orientation, so a caller that later opens a shared pool for the
+	// same target can pre-load them (SharedPool.Warm) instead of paying
+	// to rediscover them. Only the fresh per-candidate engine reports
+	// them; pool-backed solves feed the pool directly.
+	CEXInputs []uint64
 	// AssumptionCoreSize is the size of the final-conflict assumption
 	// core of the last Unsat answer (Options.Shared only; zero otherwise).
 	AssumptionCoreSize int

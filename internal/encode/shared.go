@@ -119,6 +119,10 @@ type sharedEngine struct {
 	// mirrors it for membership tests.
 	entryOrder []uint64
 	entrySet   map[uint64]bool
+	// lastGrid is the grid the previous solveGrid call probed; a switch
+	// to a different grid is the moment the learnt-quality prune runs.
+	lastGrid lattice.Grid
+	haveLast bool
 }
 
 // gridSkeleton is one grid's slice of the shared formula.
@@ -163,22 +167,37 @@ func (e *sharedEngine) guarded(sk *gridSkeleton, lits ...sat.Lit) {
 }
 
 // skeleton returns the grid's slice of the formula, stamping it on first
-// use, and brings its entry set up to date with the shared knowledge.
-// Returns the skeleton, whether it was reused, and how many clauses of
-// already-known counterexample entries were transferred in.
-func (e *sharedEngine) skeleton(g lattice.Grid) (sk *gridSkeleton, reused bool, transferred int) {
+// use, and brings its entry set up to date with the shared knowledge —
+// bounded by the transfer quality filter: at most limit of the missing
+// entries transfer in, most recent first (the search frontier's
+// discoveries; a negative limit transfers everything). Returns the
+// skeleton, whether it was reused, the clause count of the transferred
+// entries, and how many entries the filter dropped. Dropping is
+// speed-only: the skeleton stays a relaxation of the full LM problem, so
+// Unsat remains definitive and a dropped entry that matters is
+// rediscovered by this candidate's own refinement.
+func (e *sharedEngine) skeleton(g lattice.Grid, limit int) (sk *gridSkeleton, reused bool, transferred, filtered int) {
 	sk, reused = e.grids[g]
 	if !reused {
 		sk = e.newSkeleton(g)
 		e.grids[g] = sk
 	}
 	before := sk.clauses
+	missing := make([]uint64, 0, len(e.entryOrder))
 	for _, t := range e.entryOrder {
 		if !sk.entries[t] {
-			e.stampEntry(sk, t)
+			missing = append(missing, t)
 		}
 	}
-	return sk, reused, sk.clauses - before
+	keep := missing
+	if limit >= 0 && len(missing) > limit {
+		keep = missing[len(missing)-limit:]
+		filtered = len(missing) - limit
+	}
+	for _, t := range keep {
+		e.stampEntry(sk, t)
+	}
+	return sk, reused, sk.clauses - before, filtered
 }
 
 // newSkeleton stamps the entry-independent part of one grid's encoding:
@@ -302,7 +321,7 @@ func (e *sharedEngine) stampStrict(sk *gridSkeleton) {
 			if path.Len() < q.NumLiterals() {
 				continue
 			}
-				z := e.lit()
+			z := e.lit()
 			for _, cell := range path.Cells {
 				cls := make([]sat.Lit, 0, len(choices)+1)
 				cls = append(cls, z.Not())
@@ -483,13 +502,30 @@ func (e *sharedEngine) solveGrid(target cube.Cover, targetTab *truth.Table,
 	if prev, ok := e.grids[g]; ok {
 		clausesBefore = prev.clauses
 	}
-	sk, reused, transferred := e.skeleton(g)
-	res = Result{UsedDual: e.dual, TransferredCEXClauses: transferred}
+	// Grid switch: before stamping the new candidate, shed the learnt
+	// clauses whose quality says they mostly served the previous one.
+	pruned := 0
+	if e.haveLast && e.lastGrid != g {
+		if maxLBD, maxSize, on := opt.learntPrune(); on {
+			pruned = e.s.PruneLearnts(maxLBD, maxSize)
+		}
+	}
+	e.lastGrid, e.haveLast = g, true
+
+	sk, reused, transferred, filtered := e.skeleton(g, opt.cexTransferLimit())
+	res = Result{
+		UsedDual:              e.dual,
+		TransferredCEXClauses: transferred,
+		TransferFiltered:      filtered,
+		PrunedLearnts:         pruned,
+	}
 	if reused {
 		res.ReusedSolvers = 1
 		mSharedReused.Inc()
 	}
 	mSharedTransfer.Add(int64(transferred))
+	mSharedFiltered.Add(int64(filtered))
+	mSharedPruned.Add(int64(pruned))
 
 	cand, setSpan := startCandidate(opt.Span, g, e.dual, "shared", e.s)
 	defer func() {
@@ -501,6 +537,8 @@ func (e *sharedEngine) solveGrid(target cube.Cover, targetTab *truth.Table,
 		noteStatus(cand, res)
 		cand.SetInt("stamped_clauses", int64(res.StampedClauses))
 		cand.SetInt("transferred_cex_clauses", int64(transferred))
+		cand.SetInt("transfer_filtered", int64(filtered))
+		cand.SetInt("learnts_pruned", int64(pruned))
 		cand.SetInt("reused", int64(res.ReusedSolvers))
 		cand.End()
 	}()
@@ -583,4 +621,42 @@ func (e *sharedEngine) solveGrid(target cube.Cover, targetTab *truth.Table,
 func (p *SharedPool) solveShared(enc, target cube.Cover, targetTab *truth.Table,
 	g lattice.Grid, dual bool, opt Options, deadline time.Time) (Result, error) {
 	return p.engine(enc, dual, opt).solveGrid(target, targetTab, g, opt, deadline)
+}
+
+// Warm pre-loads counterexample knowledge discovered before the pool
+// existed. inputs are truth-table indexes of the target where earlier
+// (fresh-engine) candidates mismatched — the Result.CEXInputs trail. A
+// search that starts on fresh engines and later switches to the pool
+// would otherwise open cold engines and pay to rediscover exactly those
+// entries; Warm notes them up front in both orientations' terms (the
+// primal engine constrains f at the input itself, the dual engine f^D
+// at its bitwise complement). Stamping into grid skeletons still goes
+// through the transfer quality filter, so warming — like any entry
+// transfer — only tightens the relaxation and cannot change answers.
+func (p *SharedPool) Warm(target, targetDual cube.Cover, opt Options, inputs []uint64) {
+	if len(inputs) == 0 {
+		return
+	}
+	orients := []struct {
+		enc  cube.Cover
+		dual bool
+	}{{target, false}, {targetDual, true}}
+	for _, o := range orients {
+		// Respect the orientation restriction: an engine the search will
+		// never solve on has no use for the entries.
+		if (opt.Mode == PrimalOnly && o.dual) || (opt.Mode == DualOnly && !o.dual) {
+			continue
+		}
+		e := p.engine(o.enc, o.dual, opt)
+		e.mu.Lock()
+		mask := e.encTab.Size() - 1
+		for _, in := range inputs {
+			t := in & mask
+			if o.dual {
+				t = ^in & mask
+			}
+			e.noteEntry(t)
+		}
+		e.mu.Unlock()
+	}
 }

@@ -172,3 +172,184 @@ func TestSharedAblationOptions(t *testing.T) {
 		}
 	}
 }
+
+// TestSharedFilterCounters pins the clause-quality filter's bookkeeping
+// and its soundness on the paper's running example. Every engine seeds
+// two truth-table entries, so a transfer cap of 1 must drop at least one
+// entry into the very first skeleton — and the CEGAR refinement must
+// rediscover whatever mattered, keeping the answer identical to the
+// unfiltered run.
+func TestSharedFilterCounters(t *testing.T) {
+	f, d := isopPair(fig1())
+	g := lattice.Grid{M: 4, N: 2}
+
+	capped, err := SolveLM(f, d, g, Options{Shared: NewSharedPool(), CEXTransferLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Status != sat.Sat || !capped.Assignment.Realizes(f) {
+		t.Fatalf("capped transfer broke the answer: %v", capped.Status)
+	}
+	if capped.TransferFiltered == 0 {
+		t.Fatalf("cap 1 against 2 seeded entries filtered nothing: %+v", capped)
+	}
+
+	open, err := SolveLM(f, d, g, Options{Shared: NewSharedPool(), CEXTransferLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open.TransferFiltered != 0 {
+		t.Fatalf("unlimited transfer reported %d filtered", open.TransferFiltered)
+	}
+	if open.Status != capped.Status {
+		t.Fatalf("filter changed the answer: %v vs %v", capped.Status, open.Status)
+	}
+
+	// Learnt pruning triggers on grid switches: drive the engine through
+	// the infeasible 3x3 (a refutation that learns clauses) and back, with
+	// the prune forced aggressive, and check the counter threads through.
+	pool := NewSharedPool()
+	aggressive := Options{Shared: pool, SharedLearntLBD: 1, SharedLearntSize: 3}
+	if _, err := SolveLM(f, d, lattice.Grid{M: 3, N: 3}, aggressive); err != nil {
+		t.Fatal(err)
+	}
+	back, err := SolveLM(f, d, g, aggressive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Status != sat.Sat || !back.Assignment.Realizes(f) {
+		t.Fatalf("post-prune answer broken: %v", back.Status)
+	}
+	if back.PrunedLearnts == 0 {
+		t.Fatalf("aggressive prune on a grid switch pruned nothing: %+v", back)
+	}
+
+	// With the filter disabled the counters must stay silent.
+	offPool := NewSharedPool()
+	off := Options{Shared: offPool, CEXTransferLimit: -1, SharedLearntLBD: -1}
+	if _, err := SolveLM(f, d, lattice.Grid{M: 3, N: 3}, off); err != nil {
+		t.Fatal(err)
+	}
+	quiet, err := SolveLM(f, d, g, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.TransferFiltered != 0 || quiet.PrunedLearnts != 0 {
+		t.Fatalf("disabled filter still counted: %+v", quiet)
+	}
+}
+
+// TestFilterOptionResolvers pins the Options zero-value semantics: zero
+// means the calibrated defaults, negative disables.
+func TestFilterOptionResolvers(t *testing.T) {
+	if got := (Options{}).cexTransferLimit(); got != DefaultCEXTransferLimit {
+		t.Fatalf("zero cex limit resolves to %d, want %d", got, DefaultCEXTransferLimit)
+	}
+	if got := (Options{CEXTransferLimit: -3}).cexTransferLimit(); got != -1 {
+		t.Fatalf("negative cex limit resolves to %d, want -1 (unlimited)", got)
+	}
+	if got := (Options{CEXTransferLimit: 7}).cexTransferLimit(); got != 7 {
+		t.Fatalf("explicit cex limit resolves to %d, want 7", got)
+	}
+	lbd, size, on := (Options{}).learntPrune()
+	if !on || lbd != DefaultSharedLearntLBD || size != DefaultSharedLearntSize {
+		t.Fatalf("zero prune resolves to (%d,%d,%v)", lbd, size, on)
+	}
+	if _, _, on := (Options{SharedLearntLBD: -1}).learntPrune(); on {
+		t.Fatal("negative LBD budget must disable the prune")
+	}
+	if _, _, on := (Options{SharedLearntSize: -1}).learntPrune(); on {
+		t.Fatal("negative size budget must disable the prune")
+	}
+	lbd, size, on = (Options{SharedLearntLBD: 2, SharedLearntSize: 9}).learntPrune()
+	if !on || lbd != 2 || size != 9 {
+		t.Fatalf("explicit prune resolves to (%d,%d,%v)", lbd, size, on)
+	}
+}
+
+// TestPoolWarm pins the cross-engine seeding path used when the auto
+// policy opens a pool mid-search: Warm converts target inputs into each
+// orientation's entry terms (primal at the input, dual at its
+// complement), respects the Mode restriction, and a warmed pool still
+// answers correctly.
+func TestPoolWarm(t *testing.T) {
+	f, d := isopPair(fig1())
+	opt := Options{}
+	inputs := []uint64{3, 9, 3} // duplicate on purpose: noteEntry dedups
+
+	pool := NewSharedPool()
+	pool.Warm(f, d, opt, inputs)
+
+	pe := pool.engine(f, false, opt)
+	mask := pe.encTab.Size() - 1
+	for _, in := range []uint64{3, 9} {
+		if !pe.entrySet[in&mask] {
+			t.Errorf("primal engine missing warmed entry %d", in&mask)
+		}
+	}
+	de := pool.engine(d, true, opt)
+	for _, in := range []uint64{3, 9} {
+		if !de.entrySet[^in&mask] {
+			t.Errorf("dual engine missing warmed entry %d", ^in&mask)
+		}
+	}
+
+	r, err := SolveLM(f, d, lattice.Grid{M: 4, N: 2}, Options{Shared: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != sat.Sat || !r.Assignment.Realizes(f) {
+		t.Fatalf("warmed pool answer: %v", r.Status)
+	}
+
+	// Orientation restrictions keep Warm from building engines the
+	// search will never solve on; empty input builds nothing at all.
+	primal := NewSharedPool()
+	primal.Warm(f, d, Options{Mode: PrimalOnly}, inputs)
+	if n := len(primal.engines); n != 1 {
+		t.Errorf("PrimalOnly warm built %d engines, want 1", n)
+	}
+	empty := NewSharedPool()
+	empty.Warm(f, d, opt, nil)
+	if n := len(empty.engines); n != 0 {
+		t.Errorf("empty warm built %d engines, want 0", n)
+	}
+}
+
+// TestCegarReportsCEXInputs checks the fresh engine's counterexample
+// trail: refinement mismatches come back as primal truth-table indexes
+// of the target (in range regardless of the orientation that found
+// them), and the trail is non-empty somewhere across a seeded sweep —
+// otherwise Warm would silently have nothing to feed on.
+func TestCegarReportsCEXInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	grids := []lattice.Grid{{M: 2, N: 2}, {M: 3, N: 2}, {M: 3, N: 3}, {M: 4, N: 2}}
+	found := false
+	for trial := 0; trial < 30; trial++ {
+		raw := randomFunc(rng, 3, 3)
+		f := minimize.Auto(raw)
+		if f.IsZero() || f.IsOne() {
+			continue
+		}
+		d := minimize.Auto(f.Dual())
+		max := uint64(1) << uint(f.N)
+		for _, g := range grids {
+			r, err := SolveLMCegar(f, d, g, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, in := range r.CEXInputs {
+				if in >= max {
+					t.Fatalf("trial %d grid %v: CEX input %d out of range for %d inputs",
+						trial, g, in, f.N)
+				}
+			}
+			if len(r.CEXInputs) > 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no trial produced counterexample inputs; the CEXInputs trail is broken")
+	}
+}

@@ -757,6 +757,40 @@ func (s *Solver) reduceDB() {
 	s.learnts = kept
 }
 
+// PruneLearnts detaches every learnt clause whose LBD exceeds maxLBD or
+// whose length exceeds maxSize, the same quality measures reduceDB keys
+// on. Binary clauses and clauses locked as propagation reasons are always
+// kept, so the operation is safe between Solve calls; learnt clauses are
+// implied by the formula, so dropping any subset never changes an answer,
+// only how much pruning the next call inherits. The trail is unwound to
+// decision level 0 first, which invalidates any model from the previous
+// Solve. Returns the number of clauses removed.
+//
+// A caller sharing one solver across many assumption frames (see
+// internal/encode.SharedPool) uses this when switching frames: clauses
+// learnt deep inside one frame tend to mention its activation literal and
+// rate a high LBD, so they are watch-list freight for every other frame.
+func (s *Solver) PruneLearnts(maxLBD int32, maxSize int) int {
+	s.backtrackTo(0)
+	kept := s.learnts[:0]
+	removed := 0
+	for _, c := range s.learnts {
+		locked := s.value(c.lits[0]) == lTrue && s.reason[c.lits[0].Var()] == c
+		if locked || len(c.lits) == 2 || (c.lbd <= maxLBD && len(c.lits) <= maxSize) {
+			kept = append(kept, c)
+		} else {
+			s.detach(c)
+			removed++
+		}
+	}
+	s.learnts = kept
+	if removed > 0 {
+		s.stats.Removed += int64(removed)
+		s.stats.Reductions++
+	}
+	return removed
+}
+
 // luby returns element x (0-based) of the Luby restart sequence
 // 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,... (MiniSat's formulation).
 func luby(x int64) int64 {

@@ -27,9 +27,14 @@ type FlightEntry struct {
 	// the search attempted (empty for cache hits — nothing was searched).
 	Grid        string   `json:"grid,omitempty"`
 	GridsProbed []string `json:"grids_probed,omitempty"`
-	QueueWaitNS int64    `json:"queue_wait_ns,omitempty"`
-	SolveNS     int64    `json:"solve_ns,omitempty"`
-	TotalNS     int64    `json:"total_ns"`
+	// Engine is the verdict of the per-step engine policy over the whole
+	// search ("fresh", "shared", or "mixed"); PredictedDepth the policy's
+	// depth score at the first dichotomic step. Empty for cache hits.
+	Engine         string `json:"engine,omitempty"`
+	PredictedDepth int    `json:"predicted_depth,omitempty"`
+	QueueWaitNS    int64  `json:"queue_wait_ns,omitempty"`
+	SolveNS        int64  `json:"solve_ns,omitempty"`
+	TotalNS        int64  `json:"total_ns"`
 	// TracePinned marks entries whose full span trace is retained beyond
 	// the normal per-job window (slow, errored, or deadline-bounded jobs).
 	TracePinned bool `json:"trace_pinned,omitempty"`

@@ -31,6 +31,12 @@ type Request struct {
 	// Portfolio races the primal and dual orientations of every candidate
 	// lattice (implies CEGAR).
 	Portfolio bool `json:"portfolio,omitempty"`
+	// Engine picks the LM solver strategy: "auto" (or empty, the default)
+	// lets the per-step policy choose, "shared" forces the shared
+	// assumption-based solver pool, "fresh" forces per-candidate solvers.
+	// It is part of the answer identity only when forced: under a conflict
+	// budget the engines can settle on different lattices.
+	Engine string `json:"engine,omitempty"`
 	// MaxConflicts bounds each LM SAT call (0 = unlimited).
 	MaxConflicts int64 `json:"max_conflicts,omitempty"`
 	// TimeoutMS bounds the whole request, queue wait included. Zero uses
@@ -44,17 +50,17 @@ type Request struct {
 
 // ResultJSON is the wire form of a synthesis outcome.
 type ResultJSON struct {
-	M         int        `json:"m"`
-	N         int        `json:"n"`
-	Size      int        `json:"size"`
-	LB        int        `json:"lb"`
-	OUB       int        `json:"oub"`
-	NUB       int        `json:"nub"`
-	UBMethod  string     `json:"ub_method"`
-	MatchedLB bool       `json:"matched_lb"`
-	LMSolved  int        `json:"lm_solved"`
-	CegarIters int64     `json:"cegar_iters,omitempty"`
-	ElapsedNS int64      `json:"elapsed_ns"`
+	M          int    `json:"m"`
+	N          int    `json:"n"`
+	Size       int    `json:"size"`
+	LB         int    `json:"lb"`
+	OUB        int    `json:"oub"`
+	NUB        int    `json:"nub"`
+	UBMethod   string `json:"ub_method"`
+	MatchedLB  bool   `json:"matched_lb"`
+	LMSolved   int    `json:"lm_solved"`
+	CegarIters int64  `json:"cegar_iters,omitempty"`
+	ElapsedNS  int64  `json:"elapsed_ns"`
 	// Lattice is the switch grid row by row; each cell is the literal
 	// controlling that switch ("a", "b'", "0", "1") using the PLA's input
 	// names.
@@ -93,11 +99,12 @@ const (
 // options); key adds the budget fields and is the exact coalescing and
 // cache-store identity.
 type parsedRequest struct {
-	req   Request
-	cover cube.Cover
-	names []string
-	fnKey string
-	key   string
+	req    Request
+	cover  cube.Cover
+	names  []string
+	engine core.EngineSelect
+	fnKey  string
+	key    string
 }
 
 // parseRequest validates the payload and derives the canonical key.
@@ -121,13 +128,18 @@ func parseRequest(req Request) (*parsedRequest, error) {
 	if req.MaxConflicts < 0 || req.TimeoutMS < 0 {
 		return nil, fmt.Errorf("negative budget")
 	}
-	fnKey := canonicalFnKey(cover, req)
+	engine, err := core.ParseEngineSelect(req.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %q (want auto, shared, or fresh)", req.Engine)
+	}
+	fnKey := canonicalFnKey(cover, req, engine)
 	return &parsedRequest{
-		req:   req,
-		cover: cover,
-		names: f.InputNames,
-		fnKey: fnKey,
-		key:   canonicalKey(fnKey, req),
+		req:    req,
+		cover:  cover,
+		names:  f.InputNames,
+		engine: engine,
+		fnKey:  fnKey,
+		key:    canonicalKey(fnKey, req),
 	}, nil
 }
 
@@ -139,7 +151,7 @@ func parseRequest(req Request) (*parsedRequest, error) {
 // deduplicated after sorting: a cover with a repeated cube denotes the
 // same function, so it must not hash differently — before this, the
 // redundant spelling missed both coalescing and the result cache.
-func canonicalFnKey(f cube.Cover, req Request) string {
+func canonicalFnKey(f cube.Cover, req Request, engine core.EngineSelect) string {
 	cubes := append([]cube.Cube(nil), f.Cubes...)
 	sort.Slice(cubes, func(i, j int) bool {
 		if cubes[i].Pos != cubes[j].Pos {
@@ -168,6 +180,16 @@ func canonicalFnKey(f cube.Cover, req Request) string {
 	}
 	if req.Portfolio {
 		opts |= 2
+	}
+	// A forced engine is part of the identity: under a conflict budget the
+	// shared and fresh engines may settle on different (equally verified)
+	// lattices. EngineAuto contributes nothing, so pre-existing cache keys
+	// stay valid.
+	switch engine {
+	case core.EngineShared:
+		opts |= 4
+	case core.EngineFresh:
+		opts |= 8
 	}
 	h.Write([]byte{opts})
 	return hex.EncodeToString(h.Sum(nil))
@@ -206,6 +228,7 @@ func (p *parsedRequest) coreOptions() core.Options {
 	var opt core.Options
 	opt.Encode.CEGAR = p.req.CEGAR
 	opt.Portfolio = p.req.Portfolio
+	opt.EngineSelect = p.engine
 	opt.Encode.Limits = sat.Limits{MaxConflicts: p.req.MaxConflicts}
 	return opt
 }

@@ -558,6 +558,7 @@ func (s *Server) run(j *job) {
 		Time: j.enqueued, RequestID: j.requestID, JobID: j.id,
 		FnKey: fnPrefix(j.p.fnKey), Outcome: out.Status, Error: out.Error,
 		Grid: outcomeGrid(out), GridsProbed: res.GridsProbed,
+		Engine: res.Engine, PredictedDepth: res.PredictedDepth,
 		QueueWaitNS: int64(j.queueWait), SolveNS: int64(solve), TotalNS: int64(total),
 	}
 	if s.flight.shouldPin(out.Status, total) {
@@ -568,7 +569,7 @@ func (s *Server) run(j *job) {
 	}
 	s.flight.record(entry)
 	s.log.Info("job finished", "job_id", j.id, "request_id", j.requestID,
-		"outcome", out.Status, "grid", entry.Grid,
+		"outcome", out.Status, "grid", entry.Grid, "engine", entry.Engine,
 		"queue_wait_ms", j.queueWait.Milliseconds(), "solve_ms", solve.Milliseconds(),
 		"trace_pinned", entry.TracePinned)
 

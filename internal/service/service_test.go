@@ -70,6 +70,42 @@ func TestCanonicalization(t *testing.T) {
 	}
 }
 
+// TestEngineRequestField: "auto" and "" are the default and keep the
+// pre-existing cache identity; a forced engine is a different question
+// (budgeted answers may differ), and the two forced modes differ from
+// each other; junk is rejected before it reaches the queue.
+func TestEngineRequestField(t *testing.T) {
+	base, err := parseRequest(Request{PLA: fig1PLA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := parseRequest(Request{PLA: fig1PLA, Engine: "auto"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.key != base.key {
+		t.Fatal(`engine "auto" must keep the default cache key`)
+	}
+	shared, err := parseRequest(Request{PLA: fig1PLA, Engine: "shared"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := parseRequest(Request{PLA: fig1PLA, Engine: "fresh"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.key == base.key || fresh.key == base.key || shared.key == fresh.key {
+		t.Fatal("forced engines must have distinct cache identities")
+	}
+	if shared.coreOptions().EngineSelect != core.EngineShared ||
+		fresh.coreOptions().EngineSelect != core.EngineFresh {
+		t.Fatal("engine field must reach core options")
+	}
+	if _, err := parseRequest(Request{PLA: fig1PLA, Engine: "turbo"}); err == nil {
+		t.Fatal("unknown engine must be rejected")
+	}
+}
+
 // TestCoalesce: N identical concurrent requests must run exactly one
 // synthesis; the joiners are answered from the same job with
 // Cached == "coalesced". Run under -race in CI this also checks the

@@ -26,6 +26,13 @@
 # Stamped < added is the template-stamping win; the ns columns show the
 # wall-clock effect.
 #
+# An "engine_policy" block compares the auto per-step engine policy
+# against both forced modes on the same instances: wall times, the
+# policy's step trail (how many steps ran shared vs fresh, the depth
+# score at the first step), and the clause-quality filter counters.
+# scripts/perfgate.py gates auto_ns against min(fresh_ns, shared_ns)
+# within the same run.
+#
 # A "service_load" block is appended from a cmd/janusload run against a
 # freshly started janusd (48 requests cycling 4 functions): rps, latency
 # percentiles, and the fresh/coalesced/cached answer composition.
@@ -44,11 +51,17 @@ cleanup() {
 trap cleanup EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkAblationEncoding|BenchmarkTableIIJanus|BenchmarkCegarEngine|BenchmarkSharedSearch' \
+  -bench 'BenchmarkAblationEncoding|BenchmarkTableIIJanus|BenchmarkCegarEngine' \
   -benchtime 3x . | tee "$raw"
 
+# The engine-policy comparison feeds a perf gate with a 10% tolerance —
+# tighter than single in-process runs are repeatable (mode ordering and
+# neighbor noise alone skew ±15%). Run it with more iterations and three
+# repetitions; the JSON keeps the minimum wall time per benchmark, which
+# is the noise-robust statistic for a gate (counters are deterministic).
+go test -run '^$' -bench 'BenchmarkSharedSearch' -benchtime 5x -count 3 . | tee -a "$raw"
+
 awk '
-BEGIN { print "{\n  \"benchmarks\": [" ; first = 1 }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)          # strip -GOMAXPROCS
@@ -62,16 +75,25 @@ BEGIN { print "{\n  \"benchmarks\": [" ; first = 1 }
         metrics = metrics == "" ? m : metrics ", " m
         if (name ~ /^BenchmarkSharedSearch\//) sv[name "/" u] = v
     }
+    # Repeated benchmarks (-count > 1) fold to their fastest rep; the
+    # ReportMetric counters are deterministic, so keeping the last rep
+    # for those loses nothing.
+    if (!(name in bestNs) || ns + 0 < bestNs[name] + 0) bestNs[name] = ns
+    met[name] = metrics
+    if (!(name in seen)) { seen[name] = 1; order[++nbench] = name }
     if (name ~ /^BenchmarkSharedSearch\//) {
         split(name, parts, "/")
         insts[parts[2]] = 1
-        sv[name "/ns"] = ns
+        sv[name "/ns"] = bestNs[name]
     }
-    if (!first) printf ",\n"
-    first = 0
-    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"metrics\": {%s}}", name, ns, metrics
 }
 END {
+    print "{\n  \"benchmarks\": ["
+    for (i = 1; i <= nbench; i++) {
+        name = order[i]
+        printf "%s    {\"name\": \"%s\", \"ns_per_op\": %s, \"metrics\": {%s}}", \
+            (i > 1 ? ",\n" : ""), name, bestNs[name], met[name]
+    }
     print "\n  ],"
     print "  \"shared_vs_fresh\": {"
     print "    \"comment\": \"whole dichotomic search: fresh per-candidate CEGAR solvers vs one shared assumption-based solver per orientation\","
@@ -80,10 +102,25 @@ END {
         p = "BenchmarkSharedSearch/" inst
         if (!firstinst) printf ",\n"
         firstinst = 0
-        printf "    \"%s\": {\"fresh_ns\": %s, \"fresh_clauses_added\": %s, \"shared_ns\": %s, \"shared_stamped_clauses\": %s, \"solver_reuses\": %s, \"cex_transferred\": %s}", \
+        printf "    \"%s\": {\"fresh_ns\": %s, \"fresh_clauses_added\": %s, \"shared_ns\": %s, \"shared_stamped_clauses\": %s, \"solver_reuses\": %s, \"cex_transferred\": %s, \"auto_ns\": %s}", \
             inst, sv[p "/fresh/ns"], sv[p "/fresh/clauses-added"], \
             sv[p "/shared/ns"], sv[p "/shared/stamped-clauses"], \
-            sv[p "/shared/solver-reuses"], sv[p "/shared/cex-transferred"]
+            sv[p "/shared/solver-reuses"], sv[p "/shared/cex-transferred"], \
+            sv[p "/auto/ns"]
+    }
+    print "\n  },"
+    print "  \"engine_policy\": {"
+    print "    \"comment\": \"auto per-step engine policy vs the forced modes; auto must stay within the perfgate ratio of the better forced mode\","
+    firstinst = 1
+    for (inst in insts) {
+        p = "BenchmarkSharedSearch/" inst
+        if (!firstinst) printf ",\n"
+        firstinst = 0
+        printf "    \"%s\": {\"fresh_ns\": %s, \"shared_ns\": %s, \"auto_ns\": %s, \"auto_shared_steps\": %s, \"auto_fresh_steps\": %s, \"predicted_depth\": %s, \"auto_cex_filtered\": %s, \"auto_learnts_pruned\": %s}", \
+            inst, sv[p "/fresh/ns"], sv[p "/shared/ns"], sv[p "/auto/ns"], \
+            sv[p "/auto/shared-steps"], sv[p "/auto/fresh-steps"], \
+            sv[p "/auto/predicted-depth"], sv[p "/auto/cex-filtered"], \
+            sv[p "/auto/learnts-pruned"]
     }
     print "\n  },"
     print "  \"cegar_seed_baseline\": {"

@@ -7,13 +7,21 @@ Compares the committed BENCH_janus.json against a fresh scripts/bench.sh
 run of the same tree:
 
   * every BenchmarkCegarEngine/* ns_per_op, and
-  * the shared_vs_fresh per-instance wall clocks (fresh_ns, shared_ns),
+  * the shared_vs_fresh per-instance wall clocks (fresh_ns, shared_ns,
+    auto_ns),
 
 failing when current/baseline exceeds max_ratio (default 1.2, i.e. a
 >20% wall-clock regression). Benchmarks present only on one side are
 reported but not fatal — renaming an instance shouldn't brick CI, and a
 new instance has no baseline yet. The ratio can be loosened via the
 PERF_GATE_RATIO environment variable for known-noisy runners.
+
+On top of the baseline comparison, the engine_policy block of the
+CURRENT run is gated against itself: on every instance the auto policy's
+wall clock must stay within PERF_GATE_AUTO_RATIO (default 1.1) of the
+better forced mode, min(fresh_ns, shared_ns). This is a within-run
+comparison, so machine speed cancels out — it fails only when the
+policy itself picks a losing engine.
 """
 import json
 import os
@@ -33,10 +41,33 @@ def shared_rows(doc):
     for inst, r in doc.get("shared_vs_fresh", {}).items():
         if not isinstance(r, dict):
             continue
-        for col in ("fresh_ns", "shared_ns"):
+        for col in ("fresh_ns", "shared_ns", "auto_ns"):
             if r.get(col):
                 rows[f"{inst}/{col}"] = float(r[col])
     return rows
+
+
+def auto_gate(cur, ratio):
+    """Within-run check: auto within ratio of min(fresh, shared) per
+    instance. Returns (failures, checked)."""
+    failures, checked = [], 0
+    for inst, r in sorted(cur.get("engine_policy", {}).items()):
+        if not isinstance(r, dict):
+            continue
+        try:
+            fresh, shared, auto = (float(r[c]) for c in ("fresh_ns", "shared_ns", "auto_ns"))
+        except (KeyError, TypeError, ValueError):
+            print(f"note: engine_policy {inst} incomplete, skipping")
+            continue
+        checked += 1
+        best = min(fresh, shared)
+        rel = auto / best
+        status = "FAIL" if rel > ratio else "ok"
+        print(f"{status}: auto {inst}: {auto:.0f} ns vs best forced {best:.0f} ns ({rel:.2f}x)")
+        if rel > ratio:
+            failures.append(
+                f"auto engine {rel:.2f}x slower than best forced mode on {inst} (limit {ratio:.2f}x)")
+    return failures, checked
 
 
 def main():
@@ -62,6 +93,11 @@ def main():
                 failures.append(f"{name} regressed {r:.2f}x (limit {ratio:.2f}x)")
         for name in sorted(set(c) - set(b)):
             print(f"note: {label} {name} has no baseline")
+
+    auto_ratio = float(os.environ.get("PERF_GATE_AUTO_RATIO", "1.1"))
+    auto_failures, auto_checked = auto_gate(cur, auto_ratio)
+    failures += auto_failures
+    checked += auto_checked
 
     if checked == 0:
         sys.exit("perfgate: nothing compared — baseline/current mismatch?")
