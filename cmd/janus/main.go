@@ -4,13 +4,15 @@
 // Usage:
 //
 //	janus [-o N] [-multi] [-cegar] [-portfolio] [-engine MODE] [-conflicts N]
-//	      [-timeout D] [-v] [-trace FILE] [-debug-addr ADDR] [file.pla]
+//	      [-timeout D] [-v] [-progress] [-trace FILE] [-debug-addr ADDR] [file.pla]
 //
 // Without -multi each selected output is synthesized on its own lattice;
 // with -multi all outputs are packed onto a single lattice with JANUS-MF.
-// Reads standard input when no file is given. -trace writes the synthesis'
-// hierarchical span trace as JSONL (aggregate it with cmd/tracesum);
-// -debug-addr serves /metrics and /debug/pprof while the run lasts.
+// Reads standard input when no file is given. -progress prints the live
+// anytime stream (bound moves, incumbents, dichotomic steps) to stderr as
+// the search runs; -trace writes the synthesis' hierarchical span trace
+// as JSONL (aggregate it with cmd/tracesum); -debug-addr serves /metrics
+// and /debug/pprof while the run lasts.
 package main
 
 import (
@@ -33,6 +35,7 @@ func main() {
 		conflicts = flag.Int64("conflicts", 0, "SAT conflict budget per LM call (0 = unlimited)")
 		timeout   = flag.Duration("timeout", 0, "SAT time budget per LM call (0 = unlimited)")
 		verbose   = flag.Bool("v", false, "print bounds and search statistics")
+		progress  = flag.Bool("progress", false, "print live progress events (bounds, incumbents, steps) to stderr")
 		svgPath   = flag.String("svg", "", "write the (first) solution as an SVG drawing to this file")
 		tracePath = flag.String("trace", "", "write a JSONL span trace of the synthesis to this file")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
@@ -66,6 +69,9 @@ func main() {
 	opt.Encode.CEGAR = *cegar
 	opt.Portfolio = *portfolio
 	opt.EngineSelect = sel
+	if *progress {
+		opt.Progress = janus.NewProgressWriter(os.Stderr)
+	}
 
 	if *debugAddr != "" {
 		ln, err := janus.ServeDebug(*debugAddr)

@@ -11,12 +11,13 @@
 //	       [-drain-timeout D] [-debug-addr ADDR] [-log-level LEVEL]
 //	       [-trace-jobs N] [-trace-spans N] [-flight-entries N]
 //	       [-flight-slow-ms N] [-slo-synth-ms N] [-slo-jobs-ms N]
-//	       [-slo-target F]
+//	       [-slo-target F] [-progress-events N] [-slo-first-mapping-ms N]
 //
 // API:
 //
 //	POST /v1/synthesize         {"pla": ".i 4\n.o 1\n1111 1\n0000 1\n.e"}
-//	GET  /v1/jobs/{id}          poll an async or timed-out job
+//	GET  /v1/jobs/{id}          poll an async or timed-out job (live progress inline)
+//	GET  /v1/jobs/{id}/events   stream progress events (SSE; ?wait= long-polls)
 //	GET  /v1/jobs/{id}/trace    a finished job's span trace (JSONL)
 //	GET  /v1/stats              queue health + SLO burn rates
 //	GET  /healthz               queue health (503 while draining)
@@ -75,6 +76,8 @@ func main() {
 		sloSynth   = flag.Int64("slo-synth-ms", 30000, "latency objective for POST /v1/synthesize")
 		sloJobs    = flag.Int64("slo-jobs-ms", 100, "latency objective for GET /v1/jobs")
 		sloTarget  = flag.Float64("slo-target", 0.99, "fraction of requests that must meet their objective")
+		progEvents = flag.Int("progress-events", 512, "progress events kept per job for /v1/jobs/{id}/events (0 disables progress)")
+		sloFirstMs = flag.Int64("slo-first-mapping-ms", 10000, "anytime objective: enqueue to first verified mapping")
 	)
 	flag.Parse()
 
@@ -89,12 +92,14 @@ func main() {
 		DefaultTimeout: *defTimeout, MaxTimeout: *maxTimeout,
 		SynthWorkers: *synthW,
 		TraceJobs:    offIfZero(*traceJobs), TraceSpans: *traceSpans,
-		FlightEntries: offIfZero(*flightEnts),
-		SlowTrace:     time.Duration(offIfZero64(*flightSlow)) * time.Millisecond,
-		SynthSLO:      time.Duration(*sloSynth) * time.Millisecond,
-		JobsSLO:       time.Duration(*sloJobs) * time.Millisecond,
-		SLOTarget:     *sloTarget,
-		Logger:        log,
+		FlightEntries:   offIfZero(*flightEnts),
+		SlowTrace:       time.Duration(offIfZero64(*flightSlow)) * time.Millisecond,
+		SynthSLO:        time.Duration(*sloSynth) * time.Millisecond,
+		JobsSLO:         time.Duration(*sloJobs) * time.Millisecond,
+		SLOTarget:       *sloTarget,
+		ProgressEvents:  offIfZero(*progEvents),
+		FirstMappingSLO: time.Duration(*sloFirstMs) * time.Millisecond,
+		Logger:          log,
 	})
 	if err != nil {
 		fatal(err)

@@ -5,13 +5,18 @@
 // Usage:
 //
 //	janusload [-addr http://localhost:7151] [-n 64] [-c 8] [-distinct 4]
-//	          [-inputs 4] [-seed 1] [-timeout-ms 60000] [-json]
+//	          [-inputs 4] [-seed 1] [-timeout-ms 60000] [-stream] [-json]
 //
 // The workload cycles -n requests through -distinct deterministic random
 // functions, so the expected pattern under a warm daemon is a handful of
 // syntheses and a long tail of cache hits — which is exactly what the
 // cached/coalesced counters in the report make visible. 429 answers are
 // retried after the server's Retry-After.
+//
+// -stream submits every request async and follows its progress stream
+// (/v1/jobs/{id}/events via the ?wait= long-poll), measuring the anytime
+// latency — submission to first verified mapping — whose p50/p99 land in
+// the report's "anytime" block alongside the end-to-end percentiles.
 package main
 
 import (
@@ -49,6 +54,19 @@ type report struct {
 	FailedIDs []string `json:"failed_request_ids,omitempty"`
 	// SLOs echoes the daemon's /v1/stats burn-rate block after the run.
 	SLOs []janus.SLOSnapshot `json:"slos,omitempty"`
+	// Anytime is the -stream measurement block (nil without -stream).
+	Anytime *anytimeReport `json:"anytime,omitempty"`
+}
+
+// anytimeReport measures the anytime path: how fast jobs held their
+// first verified mapping, how chatty the event streams were, and how
+// many answers degraded to partial.
+type anytimeReport struct {
+	Streamed          int     `json:"streamed"`
+	FirstMappingP50MS float64 `json:"first_mapping_p50_ms"`
+	FirstMappingP99MS float64 `json:"first_mapping_p99_ms"`
+	EventsTotal       int     `json:"events_total"`
+	Partials          int     `json:"partials"`
 }
 
 func main() {
@@ -60,6 +78,7 @@ func main() {
 		inputs    = flag.Int("inputs", 4, "input variables per generated function")
 		seed      = flag.Int64("seed", 1, "workload generator seed")
 		timeoutMS = flag.Int64("timeout-ms", 60_000, "per-request budget")
+		stream    = flag.Bool("stream", false, "submit async and follow each job's progress stream, measuring time to first mapping")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
 	)
 	flag.Parse()
@@ -76,6 +95,8 @@ func main() {
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
+		firstMaps []time.Duration
+		anytime   anytimeReport
 		rep       report
 		next      atomic.Int64
 	)
@@ -91,10 +112,25 @@ func main() {
 					return
 				}
 				req := janus.ServiceRequest{PLA: plas[i%len(plas)], TimeoutMS: *timeoutMS}
+				req.Async = *stream
 				t0 := time.Now()
 				resp, retries, shedIDs, err := submitWithRetry(client, req)
+				var watch *watchResult
+				if err == nil && *stream {
+					resp, watch, err = followJob(client, resp, t0)
+				}
 				lat := time.Since(t0)
 				mu.Lock()
+				if watch != nil {
+					anytime.Streamed++
+					anytime.EventsTotal += watch.events
+					if watch.partial {
+						anytime.Partials++
+					}
+					if watch.firstMapping > 0 {
+						firstMaps = append(firstMaps, watch.firstMapping)
+					}
+				}
 				rep.Retries += retries
 				rep.ShedIDs = append(rep.ShedIDs, shedIDs...)
 				if err != nil || resp.Status != "done" {
@@ -132,6 +168,11 @@ func main() {
 	}
 	rep.P50MS = percentile(latencies, 0.50)
 	rep.P99MS = percentile(latencies, 0.99)
+	if *stream {
+		anytime.FirstMappingP50MS = percentile(firstMaps, 0.50)
+		anytime.FirstMappingP99MS = percentile(firstMaps, 0.99)
+		rep.Anytime = &anytime
+	}
 
 	// The daemon's view of the run: SLO burn rates from /v1/stats.
 	// Older daemons without the endpoint just leave the block empty.
@@ -151,6 +192,11 @@ func main() {
 		fmt.Printf("latency p50=%.1fms p99=%.1fms\n", rep.P50MS, rep.P99MS)
 		fmt.Printf("answers: %d fresh, %d coalesced, %d mem-cached, %d disk-cached\n",
 			rep.Fresh, rep.Coalesced, rep.MemHits, rep.DiskHits)
+		if rep.Anytime != nil {
+			fmt.Printf("anytime: %d streamed, first mapping p50=%.1fms p99=%.1fms, %d events, %d partial\n",
+				rep.Anytime.Streamed, rep.Anytime.FirstMappingP50MS,
+				rep.Anytime.FirstMappingP99MS, rep.Anytime.EventsTotal, rep.Anytime.Partials)
+		}
 		for _, slo := range rep.SLOs {
 			fmt.Printf("slo %s: %d/%d good (target %.0f%%, %.0fms objective), burn 5m=%.2f 1h=%.2f\n",
 				slo.Name, slo.Good, slo.Total, slo.Target*100,
@@ -193,6 +239,53 @@ func submitWithRetry(c *janus.Client, req janus.ServiceRequest) (*janus.ServiceR
 		}
 		time.Sleep(wait)
 	}
+}
+
+// watchResult is one followed job's anytime measurement.
+type watchResult struct {
+	firstMapping time.Duration // submission to first verified incumbent event
+	events       int
+	partial      bool
+}
+
+// followJob drains an async job's progress stream via the ?wait=
+// long-poll, then returns the final job state. An answer served straight
+// from cache (no job to follow) counts its response latency as the
+// first-mapping time — the caller held a verified mapping that fast.
+func followJob(c *janus.Client, resp *janus.ServiceResponse, t0 time.Time) (*janus.ServiceResponse, *watchResult, error) {
+	w := &watchResult{}
+	if resp.Status == "done" || resp.JobID == "" {
+		w.firstMapping = time.Since(t0)
+		if resp.Result != nil {
+			w.partial = resp.Result.Partial
+		}
+		return resp, w, nil
+	}
+	var after uint64
+	for {
+		page, err := c.JobEvents(context.Background(), resp.JobID, after, 5*time.Second)
+		if err != nil {
+			return resp, w, err
+		}
+		w.events += len(page.Events)
+		for _, e := range page.Events {
+			if e.Kind == "incumbent" && !e.Sub && w.firstMapping == 0 {
+				w.firstMapping = time.Since(t0)
+			}
+			if e.Kind == "done" {
+				w.partial = e.Partial
+			}
+		}
+		after = page.Next
+		if page.Terminal {
+			break
+		}
+	}
+	final, err := c.Job(context.Background(), resp.JobID)
+	if err != nil {
+		return resp, w, err
+	}
+	return final, w, nil
 }
 
 // requestID digs the server-assigned id out of a failed exchange.

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	tableii [-run regexp] [-methods janus,exact,approx,heur] \
-//	        [-conflicts N] [-timeout D] [-cegar] [-engine MODE]
+//	        [-conflicts N] [-timeout D] [-cegar] [-engine MODE] [-progress]
 //
 // The original MCNC instances are replaced by deterministic synthetic
 // stand-ins with the same (#in, #pi, δ) profiles; see DESIGN.md.
@@ -39,6 +39,7 @@ func main() {
 		engine    = flag.String("engine", "auto", "LM solver strategy for JANUS: auto, shared, or fresh")
 		shared    = flag.Bool("shared", false, "deprecated: alias for -engine shared (implies -cegar)")
 		tracePath = flag.String("trace", "", "write a JSONL span trace of every JANUS run to this file")
+		progress  = flag.Bool("progress", false, "print live progress events of every JANUS run to stderr")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address")
 	)
 	flag.Parse()
@@ -120,6 +121,10 @@ func main() {
 			opt.Encode.Limits = lims
 			opt.Encode.CEGAR = *cegar
 			opt.EngineSelect = sel
+			if *progress {
+				fmt.Fprintf(os.Stderr, "tableii: %s\n", inst.Name)
+				opt.Progress = janus.NewProgressWriter(os.Stderr)
+			}
 			r, err := janus.Synthesize(f, opt)
 			if err == nil {
 				cells = append(cells, fmt.Sprintf("janus %dx%d %.1fs",

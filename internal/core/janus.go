@@ -110,6 +110,19 @@ type Options struct {
 	// span. Set automatically for DS and MF sub-syntheses; leave nil for
 	// top-level runs.
 	TraceParent *obsv.Span
+	// Progress, when non-nil, receives the synthesis' anytime progress
+	// events (phase brackets, verified bound moves, incumbent
+	// improvements, dichotomic steps — see obsv.ProgressEvent); nil keeps
+	// progress free. When nil, the sink attached to Ctx via
+	// obsv.ContextWithProgress is used instead — the carrier the service
+	// layer uses so per-job progress crosses the queue like the tracer
+	// does. DS and MF sub-syntheses inherit the sink and mark their
+	// events Sub, since their bounds describe part covers.
+	Progress obsv.ProgressSink
+	// sub marks DS/MF sub-syntheses (set by subOptions): their progress
+	// events carry the Sub flag and they do not feed the top-level
+	// first-mapping histogram.
+	sub bool
 }
 
 func (o Options) expired() bool {
@@ -191,6 +204,16 @@ type Result struct {
 	// sub-syntheses included. The flight recorder and job traces use it
 	// to explain where a request's time went.
 	GridsProbed []string
+	// FinalLB is the lower bound when the search stopped: equal to Size
+	// when the dichotomic search converged (no smaller candidate exists),
+	// lower when a budget or cancellation stopped it early — the
+	// remaining gap is the unexplored sizes.
+	FinalLB int
+	// Partial reports that the search stopped on budget expiry or
+	// cancellation before the bounds met. Assignment is still a verified
+	// mapping of the target; Partial only means a smaller lattice might
+	// exist between FinalLB and Size.
+	Partial bool
 	// Elapsed is the wall-clock synthesis time.
 	Elapsed time.Duration
 	// ISOP and DualISOP are the minimized forms the search operated on.
@@ -242,6 +265,11 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 			opt.TraceParent = obsv.SpanFromContext(opt.Ctx)
 		}
 	}
+	if opt.Progress == nil {
+		// Ctx-carried progress, same carrier discipline as the tracer.
+		opt.Progress = obsv.ProgressFromContext(opt.Ctx)
+	}
+	prog := &progTrail{sink: opt.Progress, sub: opt.sub, start: start}
 	root := obsv.Start(opt.Tracer, opt.TraceParent, "Synthesize")
 	defer root.End()
 	root.SetInt("inputs", int64(f.N))
@@ -252,7 +280,7 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 
 	var isop, dual cube.Cover
 	{
-		minSpan, done := phase(root, "Minimize", mPhaseMinimNS)
+		minSpan, done := phase(prog, root, "Minimize", "minimize", mPhaseMinimNS)
 		if opt.SkipMinimize {
 			isop = f
 			dual = minimize.Auto(f.Dual())
@@ -276,12 +304,15 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 		res.LB, res.OUB, res.NUB = 1, 1, 1
 		res.UBMethod = "const"
 		res.MatchedLB = true
+		res.FinalLB = 1
+		prog.incumbent(a, "const")
+		prog.bound(1, 1, "const")
 		res.Elapsed = time.Since(start)
 		return res, nil
 	}
 
 	// Initial upper bounds.
-	boundsSpan, boundsDone := phase(root, "Bounds", mPhaseBoundNS)
+	boundsSpan, boundsDone := phase(prog, root, "Bounds", "bounds", mPhaseBoundNS)
 	plain := bounds.All(isop, dual, false)
 	improved := plain
 	if !opt.DisableImprovedBounds {
@@ -297,6 +328,8 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 	res.UBMethod = best.Name
 	boundsSpan.SetInt("oub", int64(res.OUB))
 	boundsSpan.SetInt("ub", int64(incumbent.Size()))
+	prog.incumbent(incumbent, best.Name)
+	prog.bound(0, incumbent.Size(), best.Name)
 	boundsDone()
 
 	var st lmStats
@@ -305,7 +338,7 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 		// DS spends SAT effort on an upper bound only; under a wall-clock
 		// budget it gets at most a third so the dichotomic search keeps
 		// the lion's share.
-		dsSpan, dsDone := phase(root, "DSBound", mPhaseDSNS)
+		dsSpan, dsDone := phase(prog, root, "DSBound", "ds", mPhaseDSNS)
 		dsOpt := opt
 		dsOpt.TraceParent = dsSpan
 		dsOpt.Encode.Span = dsSpan // reduceRows' direct LM calls
@@ -317,6 +350,8 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 		if ds := dsBound(isop, dual, dsOpt, &st); ds != nil && ds.Size() < incumbent.Size() {
 			incumbent = ds
 			res.UBMethod = "DS"
+			prog.incumbent(incumbent, "DS")
+			prog.bound(0, incumbent.Size(), "DS")
 		}
 		dsSpan.SetInt("ub", int64(incumbent.Size()))
 		dsDone()
@@ -326,6 +361,7 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 	// Lower bound (Section III-B).
 	lb := bounds.LowerBound(isop, dual, incumbent.Size())
 	res.LB = lb
+	prog.bound(lb, incumbent.Size(), "lb")
 
 	// Dichotomic search (Section III, steps 2-6). Candidates for midpoint
 	// mp are the maximal grids of area ≤ mp: realizability is monotone in
@@ -334,7 +370,7 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 	// updates to the area actually found, which may be below mp.
 	ub := incumbent.Size()
 	pool := opt.Encode.Shared // non-nil iff engineMode == EngineShared
-	srchSpan, srchDone := phase(root, "Search", mPhaseSrchNS)
+	srchSpan, srchDone := phase(prog, root, "Search", "search", mPhaseSrchNS)
 	for lb < ub && !opt.expired() {
 		mp := (lb + ub) / 2
 		mMidpoints.Inc()
@@ -380,13 +416,19 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 			ub = best.Size()
 			step.SetStr("outcome", "sat")
 			step.SetInt("size", int64(ub))
+			prog.incumbent(incumbent, "sat")
+			prog.bound(lb, ub, "sat")
 		} else {
 			lb = mp + 1
 			step.SetStr("outcome", "unsat")
+			prog.bound(lb, ub, "unsat")
 		}
+		prog.step(engineName(useShared), len(st.grids))
 		step.End()
 	}
 	srchDone()
+	res.FinalLB = lb
+	res.Partial = lb < ub
 
 	res.LMSolved = st.solved
 	res.ClausesAdded = st.added
@@ -410,6 +452,10 @@ func Synthesize(f cube.Cover, opt Options) (Result, error) {
 	root.SetStr("grid", res.Grid.String())
 	root.SetInt("size", int64(res.Size))
 	root.SetInt("lm_solved", int64(res.LMSolved))
+	root.SetInt("final_lb", int64(res.FinalLB))
+	if res.Partial {
+		root.SetBool("partial", true)
+	}
 	if res.Engine != "" {
 		root.SetStr("engine", res.Engine)
 		root.SetInt("predicted_depth", int64(res.PredictedDepth))
@@ -644,6 +690,7 @@ func subOptions(opt Options) Options {
 	sub := opt
 	sub.DisableDS = true
 	sub.SkipMinimize = true
+	sub.sub = true
 	return sub
 }
 

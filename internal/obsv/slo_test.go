@@ -83,6 +83,66 @@ func TestSLORegister(t *testing.T) {
 	}
 }
 
+// TestSLOBucketRingWraparound: the ring is 361 buckets of 10s, so two
+// observations 3610s apart land in the SAME slot under different epochs.
+// The stale epoch must neither pollute the new windows nor survive the
+// slot's reuse — the failure mode a modulo ring invites.
+func TestSLOBucketRingWraparound(t *testing.T) {
+	s := NewSLO("ep", 100*time.Millisecond, 0.99)
+	t0 := time.Unix(3_000_000, 0)
+	// An all-bad burst at t0: burn rate 100x at a 1% budget.
+	for i := 0; i < 5; i++ {
+		s.ObserveAt(t0, time.Second)
+	}
+	if snap := s.SnapshotAt(t0); math.Abs(snap.BurnRate5m-100) > 1e-9 {
+		t.Fatalf("burn at t0 = %v, want 100", snap.BurnRate5m)
+	}
+
+	// Exactly one ring revolution later the burst's slot is current
+	// again. Before any new observation, both windows must read clean:
+	// the bucket's epoch says t0, not t1, so it no longer counts.
+	t1 := t0.Add(sloBuckets * sloBucketSec * time.Second)
+	snap := s.SnapshotAt(t1)
+	if snap.BurnRate5m != 0 || snap.BurnRate1h != 0 {
+		t.Fatalf("stale epoch leaked through ring reuse: 5m=%v 1h=%v",
+			snap.BurnRate5m, snap.BurnRate1h)
+	}
+
+	// Writing into the reused slot must reset it, not inherit the old
+	// bad counts: one good observation reads as burn 0, total 1.
+	s.ObserveAt(t1, 10*time.Millisecond)
+	snap = s.SnapshotAt(t1)
+	if snap.BurnRate5m != 0 || snap.BurnRate1h != 0 {
+		t.Fatalf("reused slot inherited stale counts: 5m=%v 1h=%v",
+			snap.BurnRate5m, snap.BurnRate1h)
+	}
+	if snap.Good != 1 || snap.Total != 6 {
+		t.Fatalf("lifetime good/total = %d/%d, want 1/6", snap.Good, snap.Total)
+	}
+
+	// A steady mixed load spanning the wrap: one bad per minute for two
+	// hours (every observation reuses slots from two revolutions back by
+	// the end). The 1h window must hold exactly the last hour's 60 bad
+	// observations — no double counting, no loss.
+	s2 := NewSLO("ep2", 100*time.Millisecond, 0.9)
+	base := time.Unix(4_000_000, 0)
+	for min := 0; min < 120; min++ {
+		at := base.Add(time.Duration(min) * time.Minute)
+		s2.ObserveAt(at, time.Second)         // bad
+		s2.ObserveAt(at, 10*time.Millisecond) // good
+	}
+	end := base.Add(119 * time.Minute)
+	snap = s2.SnapshotAt(end)
+	// 1h window = minutes 60..119: 60 bad of 120 observations → 50% bad
+	// over a 10% budget → burn 5.
+	if math.Abs(snap.BurnRate1h-5) > 1e-9 {
+		t.Fatalf("burn_1h across wrap = %v, want 5", snap.BurnRate1h)
+	}
+	if math.Abs(snap.BurnRate5m-5) > 1e-9 {
+		t.Fatalf("burn_5m across wrap = %v, want 5", snap.BurnRate5m)
+	}
+}
+
 // TestSLONil: a nil SLO observes and snapshots as a no-op.
 func TestSLONil(t *testing.T) {
 	var s *SLO

@@ -140,6 +140,21 @@ func (c *Client) Job(ctx context.Context, id string) (*Response, error) {
 	return &resp, nil
 }
 
+// JobEvents long-polls a job's progress stream: events with seq > after,
+// waiting up to wait for the first one. Page.Terminal reports the stream
+// is over; pass Page.Next as the following call's after. (SSE is the
+// richer interface for humans; this is the mechanical one janusload and
+// CI scripts use.)
+func (c *Client) JobEvents(ctx context.Context, id string, after uint64, wait time.Duration) (*EventsPage, error) {
+	var page EventsPage
+	path := fmt.Sprintf("/v1/jobs/%s/events?after=%d&wait=%d",
+		id, after, wait.Milliseconds())
+	if err := c.do(ctx, http.MethodGet, path, nil, &page); err != nil {
+		return nil, err
+	}
+	return &page, nil
+}
+
 // Health reads /healthz (an error with Code 503 means draining).
 func (c *Client) Health(ctx context.Context) (*Stats, error) {
 	var st Stats

@@ -27,6 +27,12 @@ type FlightEntry struct {
 	// the search attempted (empty for cache hits — nothing was searched).
 	Grid        string   `json:"grid,omitempty"`
 	GridsProbed []string `json:"grids_probed,omitempty"`
+	// FinalLB/FinalUB are the bounds when the search stopped, and Partial
+	// marks degraded answers (verified incumbent, bounds not met) — the
+	// audit trail for every answer the anytime path handed out.
+	FinalLB int  `json:"final_lb,omitempty"`
+	FinalUB int  `json:"final_ub,omitempty"`
+	Partial bool `json:"partial,omitempty"`
 	// Engine is the verdict of the per-step engine policy over the whole
 	// search ("fresh", "shared", or "mixed"); PredictedDepth the policy's
 	// depth score at the first dichotomic step. Empty for cache hits.
@@ -90,13 +96,14 @@ func (f *flightRecorder) record(e FlightEntry) {
 }
 
 // shouldPin decides whether a finished job's full trace is worth
-// retaining: every non-done outcome is, and so is any job whose
-// queue-plus-solve time reached the slow threshold.
-func (f *flightRecorder) shouldPin(outcome string, total time.Duration) bool {
+// retaining: every non-done outcome is, every partial (degraded) answer
+// is, and so is any job whose queue-plus-solve time reached the slow
+// threshold.
+func (f *flightRecorder) shouldPin(outcome string, partial bool, total time.Duration) bool {
 	if f == nil {
 		return false
 	}
-	if outcome != StatusDone {
+	if outcome != StatusDone || partial {
 		return true
 	}
 	return f.slow > 0 && total >= f.slow

@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"time"
 
 	"github.com/lattice-tools/janus/internal/obsv"
@@ -23,7 +25,8 @@ const waitGrace = 250 * time.Millisecond
 // Handler returns the service's HTTP API:
 //
 //	POST /v1/synthesize         run (or join, or answer from cache) a synthesis
-//	GET  /v1/jobs/{id}          poll a job
+//	GET  /v1/jobs/{id}          poll a job (includes a live progress snapshot)
+//	GET  /v1/jobs/{id}/events   stream progress events (SSE; ?wait= long-polls)
 //	GET  /v1/jobs/{id}/trace    a finished job's span trace, as JSONL
 //	GET  /v1/stats              queue health + SLO burn rates
 //	GET  /healthz               queue health; 503 while draining
@@ -37,6 +40,10 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/synthesize", s.instrument("synthesize", s.sloSynth, slog.LevelInfo, s.handleSynthesize))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.sloJobs, slog.LevelInfo, s.handleJob))
+	// Streaming holds the connection open for the job's lifetime; keeping
+	// it out of the jobs SLO (and at debug log level) stops every watch
+	// from reading as a latency violation.
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("events", nil, slog.LevelDebug, s.handleJobEvents))
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.instrument("trace", nil, slog.LevelInfo, s.handleJobTrace))
 	mux.HandleFunc("GET /v1/stats", s.instrument("stats", nil, slog.LevelDebug, s.handleStats))
 	// Health probes fire every few seconds; keep their access logs at
@@ -58,6 +65,10 @@ func (w *statusWriter) WriteHeader(c int) {
 	w.code = c
 	w.ResponseWriter.WriteHeader(c)
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// Flusher, which the SSE stream needs through the instrument wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // instrument wraps a handler with the request-scoped plumbing: resolve
 // the request id (honor a plausible inbound X-Request-Id, mint
@@ -148,6 +159,131 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.RequestID = reqID
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// maxLongPoll caps a single ?wait= long-poll round.
+const maxLongPoll = 60 * time.Second
+
+// sseHeartbeat keeps idle SSE connections alive through proxies.
+const sseHeartbeat = 15 * time.Second
+
+// EventsPage is the ?wait= long-poll body: the events after the caller's
+// cursor, the next cursor to pass back, and whether the stream is over.
+type EventsPage struct {
+	JobID    string              `json:"job_id"`
+	Next     uint64              `json:"next"`
+	Terminal bool                `json:"terminal"`
+	Events   []ProgressEventJSON `json:"events"`
+}
+
+// handleJobEvents streams a job's progress. Default is SSE — one frame
+// per event with the seq as the event id, so a dropped client resumes
+// via the standard Last-Event-ID header; the stream ends after the
+// terminal "done" event. With ?wait=<ms> it long-polls instead: block up
+// to that long for events past ?after=<seq> and return them as one JSON
+// page — the fallback for clients (curl in CI, janusload) that don't
+// speak SSE.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	reqID := obsv.RequestIDFromContext(r.Context())
+	id := r.PathValue("id")
+	p, ok := s.JobEvents(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job", reqID)
+		return
+	}
+	if p == nil {
+		writeError(w, http.StatusNotFound, "progress disabled", reqID)
+		return
+	}
+	if r.URL.Query().Has("wait") {
+		s.longPollEvents(w, r, id, p)
+		return
+	}
+	after := parseSeq(r.Header.Get("Last-Event-ID"))
+	if v := r.URL.Query().Get("after"); v != "" {
+		after = parseSeq(v)
+	}
+	// ResponseController sees through the instrument wrapper (and any
+	// other Unwrap-ping middleware) to the connection's Flusher.
+	fl := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	if err := fl.Flush(); err != nil {
+		// No streaming support at all (ErrNotSupported): the long-poll
+		// fallback is the answer; nothing useful can follow on this one.
+		return
+	}
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		wake := p.waitCh() // grab before reading so no append is missed
+		evs, terminal := p.eventsSince(after)
+		for _, e := range evs {
+			data, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Kind, data)
+			after = e.Seq
+		}
+		if len(evs) > 0 {
+			fl.Flush() //nolint:errcheck // client gone surfaces via r.Context
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-wake:
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": ping\n\n")
+			fl.Flush() //nolint:errcheck // client gone surfaces via r.Context
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// longPollEvents is the JSON fallback: one page per request.
+func (s *Server) longPollEvents(w http.ResponseWriter, r *http.Request, id string, p *progressState) {
+	after := parseSeq(r.URL.Query().Get("after"))
+	wait := time.Duration(parseSeq(r.URL.Query().Get("wait"))) * time.Millisecond
+	if wait > maxLongPoll {
+		wait = maxLongPoll
+	}
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for {
+		wake := p.waitCh()
+		evs, terminal := p.eventsSince(after)
+		if len(evs) > 0 || terminal || wait <= 0 {
+			next := after
+			if n := len(evs); n > 0 {
+				next = evs[n-1].Seq
+			}
+			writeJSON(w, http.StatusOK, EventsPage{
+				JobID: id, Next: next, Terminal: terminal, Events: evs,
+			})
+			return
+		}
+		select {
+		case <-wake:
+		case <-deadline.C:
+			writeJSON(w, http.StatusOK, EventsPage{JobID: id, Next: after})
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// parseSeq parses a non-negative decimal cursor; garbage reads as 0.
+func parseSeq(v string) uint64 {
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
 }
 
 func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {

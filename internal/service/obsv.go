@@ -15,6 +15,7 @@ var (
 	mQueueFull   = obsv.Default.Counter("janus_service_queue_full_total")
 	mCanceled    = obsv.Default.Counter("janus_service_canceled_total")
 	mJobsDone    = obsv.Default.Counter("janus_service_jobs_done_total")
+	mPartial     = obsv.Default.Counter("janus_service_partial_total")
 	mJobErrors   = obsv.Default.Counter("janus_service_job_errors_total")
 	mDiskCorrupt = obsv.Default.Counter("janus_service_disk_corrupt_total")
 	gQueueDepth  = obsv.Default.Gauge("janus_service_queue_depth")
@@ -23,6 +24,10 @@ var (
 	hRequestNS   = obsv.Default.Histogram("janus_service_request_ns")
 	hQueueWaitNS = obsv.Default.Histogram("janus_service_queue_wait_ns")
 	hSolveNS     = obsv.Default.Histogram("janus_service_solve_ns")
+	// hFirstMappingNS distributes enqueue-to-first-verified-mapping — the
+	// service-level anytime latency (queue wait included, unlike the
+	// core-level janus_core_first_mapping_ns).
+	hFirstMappingNS = obsv.Default.Histogram("janus_service_first_mapping_ns")
 
 	mFlightEntries = obsv.Default.Counter("janus_service_flight_entries_total")
 	mTracesPinned  = obsv.Default.Counter("janus_service_traces_pinned_total")

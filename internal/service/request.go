@@ -61,6 +61,12 @@ type ResultJSON struct {
 	LMSolved   int    `json:"lm_solved"`
 	CegarIters int64  `json:"cegar_iters,omitempty"`
 	ElapsedNS  int64  `json:"elapsed_ns"`
+	// FinalLB is the lower bound when the search stopped; Partial marks a
+	// degraded answer: the lattice is a verified mapping of the target,
+	// but the budget ran out before the search could prove nothing
+	// between FinalLB and Size fits.
+	FinalLB int  `json:"final_lb,omitempty"`
+	Partial bool `json:"partial,omitempty"`
 	// Lattice is the switch grid row by row; each cell is the literal
 	// controlling that switch ("a", "b'", "0", "1") using the PLA's input
 	// names.
@@ -82,6 +88,9 @@ type Response struct {
 	Cached string      `json:"cached,omitempty"`
 	Error  string      `json:"error,omitempty"`
 	Result *ResultJSON `json:"result,omitempty"`
+	// Progress is the live snapshot for polled jobs (GET /v1/jobs/{id}
+	// with progress enabled): current phase, bounds, best incumbent.
+	Progress *ProgressJSON `json:"progress,omitempty"`
 }
 
 // Job status values.
@@ -242,6 +251,8 @@ func renderResult(r core.Result, names []string) *ResultJSON {
 		LMSolved:   r.LMSolved,
 		CegarIters: r.CegarIters,
 		ElapsedNS:  int64(r.Elapsed),
+		FinalLB:    r.FinalLB,
+		Partial:    r.Partial,
 	}
 	if r.Assignment != nil {
 		out.Lattice = make([][]string, r.Grid.M)

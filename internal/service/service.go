@@ -78,6 +78,15 @@ type Config struct {
 	SynthSLO  time.Duration
 	JobsSLO   time.Duration
 	SLOTarget float64
+	// ProgressEvents bounds each job's progress-event ring, the window
+	// GET /v1/jobs/{id}/events can resume over (default 512; negative
+	// disables per-job progress entirely, including the snapshot in job
+	// polls and the anytime SLO).
+	ProgressEvents int
+	// FirstMappingSLO is the anytime objective: how quickly a job should
+	// hold its first verified mapping, enqueue to incumbent (default
+	// 10s). Jobs that finish without any mapping count against it.
+	FirstMappingSLO time.Duration
 	// Logger receives JSON access and job lifecycle logs; nil discards.
 	Logger *slog.Logger
 }
@@ -117,6 +126,15 @@ func (c *Config) fill() {
 	case c.SlowTrace < 0:
 		c.SlowTrace = 0
 	}
+	switch {
+	case c.ProgressEvents == 0:
+		c.ProgressEvents = 512
+	case c.ProgressEvents < 0:
+		c.ProgressEvents = 0
+	}
+	if c.FirstMappingSLO <= 0 {
+		c.FirstMappingSLO = 10 * time.Second
+	}
 	if c.SynthSLO <= 0 {
 		c.SynthSLO = 30 * time.Second
 	}
@@ -149,11 +167,12 @@ type Server struct {
 
 	// flight is nil when the recorder is disabled; sloSynth/sloJobs are
 	// nil-safe and only observed from the HTTP layer.
-	flight   *flightRecorder
-	sloSynth *obsv.SLO
-	sloJobs  *obsv.SLO
-	log      *slog.Logger
-	reqSeq   atomic.Uint64
+	flight      *flightRecorder
+	sloSynth    *obsv.SLO
+	sloJobs     *obsv.SLO
+	sloFirstMap *obsv.SLO
+	log         *slog.Logger
+	reqSeq      atomic.Uint64
 
 	mu         sync.Mutex
 	draining   bool
@@ -196,6 +215,7 @@ type job struct {
 	status    string
 	queueWait time.Duration
 	trace     *obsv.TraceBuffer // nil until running, or with tracing off
+	progress  *progressState    // nil with progress disabled
 	out       *outcome
 	done      chan struct{}
 }
@@ -222,8 +242,10 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s.sloSynth = obsv.NewSLO("synthesize", cfg.SynthSLO, cfg.SLOTarget)
 	s.sloJobs = obsv.NewSLO("jobs", cfg.JobsSLO, cfg.SLOTarget)
+	s.sloFirstMap = obsv.NewSLO("first_mapping", cfg.FirstMappingSLO, cfg.SLOTarget)
 	s.sloSynth.Register(obsv.Default, "janus_service_slo_synthesize")
 	s.sloJobs.Register(obsv.Default, "janus_service_slo_jobs")
+	s.sloFirstMap.Register(obsv.Default, "janus_service_slo_first_mapping")
 	if cfg.CacheDir != "" {
 		disk, err := openDiskCache(filepath.Join(cfg.CacheDir, "results"),
 			cfg.DiskEntries, cfg.DiskBytes)
@@ -412,6 +434,12 @@ func (s *Server) admit(p *parsedRequest, reqID string) (*job, bool, error) {
 		status:    StatusQueued,
 		done:      make(chan struct{}),
 	}
+	if s.cfg.ProgressEvents > 0 {
+		// Created at admission so the events stream exists (and buffers)
+		// from the first queued moment, not only once a worker picks the
+		// job up.
+		j.progress = newProgressState(s.cfg.ProgressEvents, j.enqueued)
+	}
 	// The job deadline covers queue wait plus synthesis and holds even
 	// after every waiter is gone, so async jobs cannot run forever.
 	j.ctx, j.cancel = context.WithDeadline(s.baseCtx, j.deadline)
@@ -454,10 +482,29 @@ func (s *Server) Job(id string) (*Response, bool) {
 	if !ok {
 		return nil, false
 	}
+	var resp *Response
 	if j.out != nil {
-		return respond(j.out, j.id, ""), true
+		resp = respond(j.out, j.id, "")
+	} else {
+		resp = &Response{JobID: j.id, Status: j.status}
 	}
-	return &Response{JobID: j.id, Status: j.status}, true
+	// The inline snapshot is what makes a plain poll "anytime": a caller
+	// that never opens the events stream still sees the bounds close in.
+	resp.Progress = j.progress.snapshot()
+	return resp, true
+}
+
+// JobEvents returns a job's progress stream handle for the events
+// endpoint: the state (nil when progress is disabled) plus whether the
+// job exists at all.
+func (s *Server) JobEvents(id string) (*progressState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.progress, true
 }
 
 // respond wraps an immutable outcome in a per-request Response.
@@ -485,6 +532,7 @@ func (s *Server) run(j *job) {
 	var jobSpan *obsv.Span
 	s.mu.Lock()
 	if j.ctx.Err() == context.Canceled {
+		j.progress.finish(StatusCanceled, 0, 0, false)
 		s.finishLocked(j, &outcome{Status: StatusCanceled, Error: "canceled while queued"})
 		s.mu.Unlock()
 		s.flight.record(FlightEntry{
@@ -513,6 +561,9 @@ func (s *Server) run(j *job) {
 	if jobSpan != nil {
 		ctx = obsv.ContextWithSpan(obsv.ContextWithTracer(ctx, jobSpan.Tracer()), jobSpan)
 	}
+	if j.progress != nil {
+		ctx = obsv.ContextWithProgress(ctx, j.progress)
+	}
 
 	gRunning.Add(1)
 	started := time.Now()
@@ -532,20 +583,63 @@ func (s *Server) run(j *job) {
 	case err != nil:
 		mJobErrors.Inc()
 		out = &outcome{Status: StatusError, Error: err.Error()}
-	case ctxErr == context.Canceled:
-		// Abandoned mid-run: the incumbent is real but under-budget, and
-		// nobody is waiting. Don't let it into the caches as the answer.
+	case ctxErr == context.Canceled && res.Assignment == nil:
+		// Abandoned before the bounds phase produced anything: there is
+		// no answer to degrade to.
 		mCanceled.Inc()
 		out = &outcome{Status: StatusCanceled, Error: "canceled"}
+	case ctxErr == context.Canceled:
+		// Cancelled mid-run with a verified incumbent in hand: that IS an
+		// answer — publish it as done (partial when the bounds had not
+		// met) so pollers and coalesced followers get the mapping instead
+		// of a bare "canceled". But a cancelled run used less than its
+		// nominal budget, so a partial answer here must never enter the
+		// caches: under the exact (function, budget) key it would claim
+		// "this is what that budget buys", which a fuller run could beat.
+		// A converged answer (bounds met) is exact for any budget and
+		// caches normally.
+		mJobsDone.Inc()
+		out = &outcome{Status: StatusDone, Result: renderResult(res, j.p.names)}
+		if res.Partial {
+			mPartial.Inc()
+		} else {
+			s.mem.put(j.key, out)
+			s.disk.put(j.key, out)
+			s.recordBudget(j.p, res.MatchedLB)
+		}
 	default:
 		// Deadline expiry is not an error: the search returns its best
 		// verified incumbent, which is the agreed answer for this budget
-		// (timeout_ms is part of the cache key).
+		// (timeout_ms is part of the cache key, and the budget index only
+		// ever serves a non-MatchedLB answer to same-or-smaller budgets).
 		mJobsDone.Inc()
+		if res.Partial {
+			mPartial.Inc()
+		}
 		out = &outcome{Status: StatusDone, Result: renderResult(res, j.p.names)}
 		s.mem.put(j.key, out)
 		s.disk.put(j.key, out)
 		s.recordBudget(j.p, res.MatchedLB)
+	}
+	if j.progress != nil {
+		// Anytime SLO: enqueue to first verified mapping. Jobs that never
+		// held one count as misses at their total latency or just past
+		// the objective, whichever is worse.
+		fm := j.progress.firstMappingAt()
+		if fm == 0 {
+			fm = j.queueWait + solve
+			if fm <= s.cfg.FirstMappingSLO {
+				fm = s.cfg.FirstMappingSLO + 1
+			}
+		} else {
+			hFirstMappingNS.Observe(int64(fm))
+		}
+		s.sloFirstMap.Observe(fm)
+		finalLB, finalUB := 0, 0
+		if out.Result != nil {
+			finalLB, finalUB = out.Result.FinalLB, out.Result.Size
+		}
+		j.progress.finish(out.Status, finalLB, finalUB, out.Result != nil && out.Result.Partial)
 	}
 	jobSpan.SetStr("outcome", out.Status)
 	if out.Result != nil {
@@ -561,7 +655,11 @@ func (s *Server) run(j *job) {
 		Engine: res.Engine, PredictedDepth: res.PredictedDepth,
 		QueueWaitNS: int64(j.queueWait), SolveNS: int64(solve), TotalNS: int64(total),
 	}
-	if s.flight.shouldPin(out.Status, total) {
+	if out.Result != nil {
+		entry.FinalLB, entry.FinalUB = out.Result.FinalLB, out.Result.Size
+		entry.Partial = out.Result.Partial
+	}
+	if s.flight.shouldPin(out.Status, entry.Partial, total) {
 		if b := j.trace.Bytes(); len(b) > 0 {
 			s.flight.pin(j.id, b)
 			entry.TracePinned = true
@@ -570,6 +668,7 @@ func (s *Server) run(j *job) {
 	s.flight.record(entry)
 	s.log.Info("job finished", "job_id", j.id, "request_id", j.requestID,
 		"outcome", out.Status, "grid", entry.Grid, "engine", entry.Engine,
+		"partial", entry.Partial, "final_lb", entry.FinalLB,
 		"queue_wait_ms", j.queueWait.Milliseconds(), "solve_ms", solve.Milliseconds(),
 		"trace_pinned", entry.TracePinned)
 
@@ -686,7 +785,8 @@ func (s *Server) Stats() Stats {
 		Running: gRunning.Value(), Workers: s.cfg.Workers,
 		DiskEntries: s.disk.len(), MemoLoaded: gMemoLoaded.Value(),
 		TracedJobs: traced,
-		SLOs:       []obsv.SLOSnapshot{s.sloSynth.Snapshot(), s.sloJobs.Snapshot()},
+		SLOs: []obsv.SLOSnapshot{s.sloSynth.Snapshot(), s.sloJobs.Snapshot(),
+			s.sloFirstMap.Snapshot()},
 	}
 }
 

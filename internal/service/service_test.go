@@ -186,9 +186,12 @@ func TestCoalesce(t *testing.T) {
 func TestCancelFreesWorker(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 1})
 	s.synth = func(f cube.Cover, opt core.Options) (core.Result, error) {
-		// A cooperative engine: runs until cancelled, like a long search.
+		// A cooperative engine: runs until cancelled, like a long search
+		// interrupted before it found any mapping. (A cancel that DOES
+		// hold a verified incumbent settles done instead — see
+		// TestCancelWithIncumbent.)
 		<-opt.Ctx.Done()
-		return fakeResult(), nil
+		return core.Result{}, nil
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())

@@ -109,7 +109,26 @@ type (
 	// SLOSnapshot is one endpoint's latency-objective state (good/total
 	// counters and multi-window burn rates), as served on /v1/stats.
 	SLOSnapshot = obsv.SLOSnapshot
+	// ProgressEvent is one anytime progress notification (phase brackets,
+	// verified bound moves, incumbent improvements, dichotomic steps).
+	ProgressEvent = obsv.ProgressEvent
+	// ProgressSink receives progress events; set Options.Progress (nil
+	// keeps progress free).
+	ProgressSink = obsv.ProgressSink
+	// ProgressWriter is a ProgressSink printing one line per event — the
+	// -progress flag of cmd/janus and cmd/tableii.
+	ProgressWriter = obsv.ProgressWriter
+	// EventsPage is one page of a job's progress stream, as returned by
+	// Client.JobEvents (the ?wait= long-poll form of /v1/jobs/{id}/events).
+	EventsPage = service.EventsPage
+	// ProgressEventJSON is the wire form of one progress event.
+	ProgressEventJSON = service.ProgressEventJSON
+	// ProgressSnapshot is the rolled-up progress inlined in job polls.
+	ProgressSnapshot = service.ProgressJSON
 )
+
+// NewProgressWriter returns a line-per-event progress sink writing to w.
+func NewProgressWriter(w io.Writer) *ProgressWriter { return obsv.NewProgressWriter(w) }
 
 // NewServer builds the synthesis service and starts its worker pool;
 // serve its Handler and stop it with Shutdown.

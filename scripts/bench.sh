@@ -36,6 +36,11 @@
 # A "service_load" block is appended from a cmd/janusload run against a
 # freshly started janusd (48 requests cycling 4 functions): rps, latency
 # percentiles, and the fresh/coalesced/cached answer composition.
+#
+# An "anytime" block follows from a second janusload run in -stream mode
+# (async submit + progress-event follow against a cold cache): time from
+# submission to first verified mapping, p50/p99, plus the event volume
+# and how many answers degraded to partial.
 set -eu
 
 out=${1:-BENCH_janus.json}
@@ -141,11 +146,18 @@ svcpid=$!
 sleep 1
 svcjson=$("$svcdir/janusload" -addr http://localhost:7163 \
     -n 48 -c 8 -distinct 4 -timeout-ms 60000 -json)
+
+# Anytime measurement: stream fresh (uncached seed) functions so the
+# first-mapping latency reflects real searches, not cache hits.
+streamjson=$("$svcdir/janusload" -addr http://localhost:7163 \
+    -n 12 -c 4 -distinct 4 -seed 77 -timeout-ms 60000 -stream -json)
+anytime=$(printf '%s' "$streamjson" | python3 -c \
+    'import json,sys; print(json.dumps(json.load(sys.stdin).get("anytime") or {}))')
 kill -TERM "$svcpid" && wait "$svcpid" || true
 svcpid=""
 merged=$(mktemp)
-awk -v svc="$svcjson" '
-/^}$/ { print "  ,"; print "  \"service_load\": " svc; print "}"; next }
+awk -v svc="$svcjson" -v any="$anytime" '
+/^}$/ { print "  ,"; print "  \"service_load\": " svc ","; print "  \"anytime\": " any; print "}"; next }
 { print }
 ' "$out" > "$merged" && mv "$merged" "$out"
 
