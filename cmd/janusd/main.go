@@ -20,6 +20,7 @@
 //	GET  /v1/jobs/{id}/events   stream progress events (SSE; ?wait= long-polls)
 //	GET  /v1/jobs/{id}/trace    a finished job's span trace (JSONL)
 //	GET  /v1/stats              queue health + SLO burn rates
+//	GET  /v1/cache/{fnKey}      budget-compatible cached answer (peer cache fill)
 //	GET  /healthz               queue health (503 while draining)
 //	GET  /debug/flightrecorder  recent request summaries
 //	GET  /metrics               process-wide janus_* metrics

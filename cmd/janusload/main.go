@@ -4,8 +4,14 @@
 //
 // Usage:
 //
-//	janusload [-addr http://localhost:7151] [-n 64] [-c 8] [-distinct 4]
-//	          [-inputs 4] [-seed 1] [-timeout-ms 60000] [-stream] [-json]
+//	janusload [-addr http://localhost:7151] [-targets URL,URL,...]
+//	          [-n 64] [-c 8] [-distinct 4] [-inputs 4] [-seed 1]
+//	          [-timeout-ms 60000] [-stream] [-json]
+//
+// -targets spreads the run round-robin across several endpoints (e.g.
+// a janusfront plus direct backends, or several fronts); it overrides
+// -addr. Answers a daemon filled from a peer's cache are counted in the
+// report's cached_peer column.
 //
 // The workload cycles -n requests through -distinct deterministic random
 // functions, so the expected pattern under a warm daemon is a handful of
@@ -28,6 +34,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +54,7 @@ type report struct {
 	Coalesced int     `json:"coalesced"`
 	MemHits   int     `json:"cached_mem"`
 	DiskHits  int     `json:"cached_disk"`
+	PeerHits  int     `json:"cached_peer"`
 	// ShedIDs / FailedIDs are the server-assigned request ids of 429
 	// answers and failed requests — the handles to grep the daemon's logs
 	// and /debug/flightrecorder with.
@@ -72,6 +80,7 @@ type anytimeReport struct {
 func main() {
 	var (
 		addr      = flag.String("addr", "http://localhost:7151", "janusd base URL")
+		targets   = flag.String("targets", "", "comma-separated base URLs to spread load across round-robin (overrides -addr)")
 		n         = flag.Int("n", 64, "total requests")
 		c         = flag.Int("c", 8, "concurrent clients")
 		distinct  = flag.Int("distinct", 4, "distinct functions cycled through")
@@ -91,7 +100,17 @@ func main() {
 		plas[i] = randomPLA(rand.New(rand.NewSource(*seed+int64(i))), *inputs)
 	}
 
-	client := janus.NewClient(*addr)
+	// One client per target, all sharing the process keep-alive
+	// transport; request i goes to clients[i % len].
+	var clients []*janus.Client
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			clients = append(clients, janus.NewClient(t))
+		}
+	}
+	if len(clients) == 0 {
+		clients = []*janus.Client{janus.NewClient(*addr)}
+	}
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
@@ -111,6 +130,7 @@ func main() {
 				if i >= *n {
 					return
 				}
+				client := clients[i%len(clients)]
 				req := janus.ServiceRequest{PLA: plas[i%len(plas)], TimeoutMS: *timeoutMS}
 				req.Async = *stream
 				t0 := time.Now()
@@ -145,6 +165,8 @@ func main() {
 						rep.MemHits++
 					case "disk":
 						rep.DiskHits++
+					case "peer":
+						rep.PeerHits++
 					case "coalesced":
 						rep.Coalesced++
 					default:
@@ -176,7 +198,9 @@ func main() {
 
 	// The daemon's view of the run: SLO burn rates from /v1/stats.
 	// Older daemons without the endpoint just leave the block empty.
-	if st, err := client.ServerStats(context.Background()); err == nil {
+	// (With -targets this is the first target's view — a front merges
+	// its backends, so that is usually the full picture.)
+	if st, err := clients[0].ServerStats(context.Background()); err == nil {
 		rep.SLOs = st.SLOs
 	}
 
@@ -190,8 +214,8 @@ func main() {
 		fmt.Printf("%d requests in %v (%.1f req/s), %d errors, %d retries\n",
 			rep.Requests, elapsed.Round(time.Millisecond), rep.RPS, rep.Errors, rep.Retries)
 		fmt.Printf("latency p50=%.1fms p99=%.1fms\n", rep.P50MS, rep.P99MS)
-		fmt.Printf("answers: %d fresh, %d coalesced, %d mem-cached, %d disk-cached\n",
-			rep.Fresh, rep.Coalesced, rep.MemHits, rep.DiskHits)
+		fmt.Printf("answers: %d fresh, %d coalesced, %d mem-cached, %d disk-cached, %d peer-filled\n",
+			rep.Fresh, rep.Coalesced, rep.MemHits, rep.DiskHits, rep.PeerHits)
 		if rep.Anytime != nil {
 			fmt.Printf("anytime: %d streamed, first mapping p50=%.1fms p99=%.1fms, %d events, %d partial\n",
 				rep.Anytime.Streamed, rep.Anytime.FirstMappingP50MS,

@@ -1,0 +1,366 @@
+package front
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/lattice-tools/janus/internal/service"
+)
+
+// testBackend is one real janusd (service + HTTP) for front tests.
+type testBackend struct {
+	srv *service.Server
+	ts  *httptest.Server
+}
+
+func startBackend(t *testing.T, cacheDir string) *testBackend {
+	t.Helper()
+	srv, err := service.NewServer(service.Config{Workers: 2, CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return &testBackend{srv: srv, ts: ts}
+}
+
+// startFront builds a front over the given backends with a poll
+// interval long enough that tests control membership explicitly (the
+// immediate first round still runs).
+func startFront(t *testing.T, backends ...*testBackend) (*Front, *service.Client) {
+	t.Helper()
+	urls := make([]string, len(backends))
+	for i, b := range backends {
+		urls[i] = b.ts.URL
+	}
+	f, err := New(Config{Backends: urls, HealthInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	fts := httptest.NewServer(f.Handler())
+	t.Cleanup(fts.Close)
+	return f, service.NewClient(fts.URL)
+}
+
+// pla returns a small distinct single-output function per index.
+func pla(i int) string {
+	return fmt.Sprintf(".i 4\n.o 1\n%04b 1\n.e\n", i&15)
+}
+
+// ownerOf resolves which configured backend currently owns a request.
+func ownerOf(t *testing.T, f *Front, req service.Request) string {
+	t.Helper()
+	key, err := service.FnKeyOf(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.shards.rank(key)
+	if len(r) == 0 {
+		t.Fatal("empty rank")
+	}
+	return r[0].ID
+}
+
+// TestFrontAffinity: the same function routed twice through the front
+// lands on the same backend — the second answer is a cache hit — and
+// every answer carries its fn_key.
+func TestFrontAffinity(t *testing.T) {
+	b1 := startBackend(t, "")
+	b2 := startBackend(t, "")
+	_, c := startFront(t, b1, b2)
+
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		req := service.Request{PLA: pla(i), TimeoutMS: 60_000}
+		first, err := c.Synthesize(ctx, req)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if first.Status != service.StatusDone {
+			t.Fatalf("request %d: status %s", i, first.Status)
+		}
+		if first.FnKey == "" {
+			t.Fatalf("request %d: no fn_key in body", i)
+		}
+		second, err := c.Synthesize(ctx, req)
+		if err != nil {
+			t.Fatalf("repeat %d: %v", i, err)
+		}
+		if second.Cached == "" {
+			t.Fatalf("repeat %d missed the cache — shard affinity broken (cached=%q)",
+				i, second.Cached)
+		}
+	}
+}
+
+// TestFrontFailover: with one backend gone (before the poller notices),
+// requests owned by it fail over to the survivor with zero client
+// errors.
+func TestFrontFailover(t *testing.T) {
+	b1 := startBackend(t, "")
+	b2 := startBackend(t, "")
+	f, c := startFront(t, b1, b2)
+
+	// Find a request owned by b2, then kill b2's listener.
+	deadID, _ := BackendID(b2.ts.URL)
+	var req service.Request
+	found := false
+	for i := 0; i < 64; i++ {
+		req = service.Request{PLA: pla(i), TimeoutMS: 60_000}
+		if ownerOf(t, f, req) == deadID {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no sampled function owned by backend 2")
+	}
+	b2.ts.Close()
+
+	resp, err := c.Synthesize(context.Background(), req)
+	if err != nil {
+		t.Fatalf("failover request failed: %v", err)
+	}
+	if resp.Status != service.StatusDone {
+		t.Fatalf("failover status %s", resp.Status)
+	}
+	if f.nFailovers.Load() == 0 {
+		t.Fatal("failover not counted")
+	}
+}
+
+// TestFrontPeerFill is the reshard scenario end to end: a key's owner
+// flaps, ownership moves home again, and the (cold) owner fills from
+// the interim owner's cache instead of re-synthesizing.
+func TestFrontPeerFill(t *testing.T) {
+	b1 := startBackend(t, "")
+	b2 := startBackend(t, "")
+	f, c := startFront(t, b1, b2)
+
+	id1, _ := BackendID(b1.ts.URL)
+	id2, _ := BackendID(b2.ts.URL)
+
+	// A request owned by b1 under the full map.
+	var req service.Request
+	found := false
+	for i := 0; i < 64; i++ {
+		req = service.Request{PLA: pla(i), TimeoutMS: 60_000}
+		if ownerOf(t, f, req) == id1 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no sampled function owned by backend 1")
+	}
+
+	// Warm the NON-owner's cache directly (this is the state a real
+	// outage leaves behind: while b1 was down, b2 owned and solved it).
+	if _, err := service.NewClient(b2.ts.URL).Synthesize(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flap b1: eject and re-admit. After the second membership change the
+	// previous alive-set has b1 dead, so the key's previous owner is b2.
+	if !f.shards.setAlive(id1, false) || !f.shards.setAlive(id1, true) {
+		t.Fatal("membership flap not registered")
+	}
+	if got := ownerOf(t, f, req); got != id1 {
+		t.Fatalf("key did not move home: owner %s", got)
+	}
+
+	resp, err := c.Synthesize(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached != "peer" {
+		t.Fatalf("cached = %q, want \"peer\" (fill hint not honored)", resp.Cached)
+	}
+	if f.nFillHints.Load() == 0 {
+		t.Fatal("fill hint not counted")
+	}
+	_ = id2
+}
+
+// TestFrontJobRouting: async job ids embed the owning shard, and polls,
+// long-polls, and SSE streams through the front reach it.
+func TestFrontJobRouting(t *testing.T) {
+	b1 := startBackend(t, "")
+	b2 := startBackend(t, "")
+	_, c := startFront(t, b1, b2)
+	ctx := context.Background()
+
+	req := service.Request{PLA: pla(7), TimeoutMS: 60_000, Async: true}
+	resp, err := c.Synthesize(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.JobID, jobIDSep) {
+		t.Fatalf("front job id %q does not embed a shard", resp.JobID)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		got, err := c.Job(ctx, resp.JobID)
+		if err != nil {
+			t.Fatalf("poll through front: %v", err)
+		}
+		if got.Status == service.StatusDone {
+			if got.JobID != resp.JobID {
+				t.Fatalf("poll answer job id %q != submitted %q", got.JobID, resp.JobID)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %s", got.Status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Long-poll events page: job id rewritten, stream terminal.
+	page, err := c.JobEvents(ctx, resp.JobID, 0, 2*time.Second)
+	if err != nil {
+		t.Fatalf("events long-poll through front: %v", err)
+	}
+	if page.JobID != resp.JobID {
+		t.Fatalf("events page job id %q != %q", page.JobID, resp.JobID)
+	}
+	if !page.Terminal {
+		t.Fatal("finished job's events page not terminal")
+	}
+
+	// SSE form streams to completion through the proxy.
+	hr, err := http.Get(c.BaseURL + "/v1/jobs/" + resp.JobID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	raw, err := io.ReadAll(hr.Body)
+	if err != nil {
+		t.Fatalf("SSE read through front: %v", err)
+	}
+	if !strings.Contains(string(raw), "event: done") {
+		t.Fatalf("SSE stream missing terminal event:\n%s", raw)
+	}
+
+	// Unknown shard prefix is a clean 404, not a proxy error.
+	if _, err := c.Job(ctx, "nosuch:1~jdeadbeef-1"); err == nil {
+		t.Fatal("unknown shard must 404")
+	}
+}
+
+// TestFrontStatsAndHealth: the merged stats carry the front block and
+// one row per backend; /healthz degrades to 503 only when no backend is
+// routable.
+func TestFrontStatsAndHealth(t *testing.T) {
+	b1 := startBackend(t, "")
+	b2 := startBackend(t, "")
+	f, c := startFront(t, b1, b2)
+
+	var st Stats
+	if err := getJSON(c.BaseURL+"/v1/stats", &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Front.Backends != 2 || st.Front.HealthyBackends != 2 {
+		t.Fatalf("front block: %+v", st.Front)
+	}
+	if len(st.Backends) != 2 || st.Backends[0].Stats == nil || st.Backends[1].Stats == nil {
+		t.Fatalf("backend fan-out incomplete: %+v", st.Backends)
+	}
+	if st.Totals.Workers != st.Backends[0].Stats.Workers+st.Backends[1].Stats.Workers {
+		t.Fatalf("totals not summed: %+v", st.Totals)
+	}
+
+	hr, err := http.Get(c.BaseURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d with live backends", hr.StatusCode)
+	}
+
+	// No routable backends -> the front itself reports down.
+	id1, _ := BackendID(b1.ts.URL)
+	id2, _ := BackendID(b2.ts.URL)
+	f.shards.setAlive(id1, false)
+	f.shards.setAlive(id2, false)
+	hr, err = http.Get(c.BaseURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz %d with no routable backends, want 503", hr.StatusCode)
+	}
+}
+
+// TestFrontHealthPoller: a dead backend is ejected after FailAfter
+// probe rounds and re-admitted when it returns.
+func TestFrontHealthPoller(t *testing.T) {
+	b1 := startBackend(t, "")
+	b2 := startBackend(t, "")
+	urls := []string{b1.ts.URL, b2.ts.URL}
+	f, err := New(Config{Backends: urls, HealthInterval: 20 * time.Millisecond, FailAfter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	id2, _ := BackendID(b2.ts.URL)
+	b2.ts.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, live := f.shards.snapshot()
+		if !live[id2] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dead backend never ejected")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_, live := f.shards.snapshot()
+	id1, _ := BackendID(b1.ts.URL)
+	if !live[id1] {
+		t.Fatal("healthy backend ejected alongside the dead one")
+	}
+}
+
+// TestBackendID: stable identity derivation and rejection of junk.
+func TestBackendID(t *testing.T) {
+	id, err := BackendID("http://host7:7151")
+	if err != nil || id != "host7:7151" {
+		t.Fatalf("id=%q err=%v", id, err)
+	}
+	if id2, _ := BackendID("http://host7:7151/"); id2 != id {
+		t.Fatalf("trailing slash changed identity: %q", id2)
+	}
+	for _, bad := range []string{"", "host:7151", "ftp://x:1", "http://"} {
+		if _, err := BackendID(bad); err == nil {
+			t.Fatalf("BackendID(%q) accepted", bad)
+		}
+	}
+}
+
+func getJSON(url string, into any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(into)
+}

@@ -1,0 +1,19 @@
+package front
+
+import "github.com/lattice-tools/janus/internal/obsv"
+
+// Front-tier metrics, in the process-wide registry under janus_front_*
+// so one /metrics scrape on the front shows routing health next to the
+// client-visible latency histogram.
+var (
+	mRequests          = obsv.Default.Counter("janus_front_requests_total")
+	mFailovers         = obsv.Default.Counter("janus_front_failovers_total")
+	mRetries429        = obsv.Default.Counter("janus_front_retries_429_total")
+	mFillHints         = obsv.Default.Counter("janus_front_fill_hints_total")
+	mNoBackend         = obsv.Default.Counter("janus_front_no_backend_total")
+	mProxyErrors       = obsv.Default.Counter("janus_front_proxy_errors_total")
+	mMembershipChanges = obsv.Default.Counter("janus_front_membership_changes_total")
+	gBackendsTotal     = obsv.Default.Gauge("janus_front_backends_total")
+	gBackendsHealthy   = obsv.Default.Gauge("janus_front_backends_healthy")
+	hProxyNS           = obsv.Default.Histogram("janus_front_proxy_ns")
+)

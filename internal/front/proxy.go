@@ -1,0 +1,576 @@
+package front
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/lattice-tools/janus/internal/obsv"
+	"github.com/lattice-tools/janus/internal/service"
+)
+
+// maxProxyBody bounds request and buffered response bodies. Responses
+// carry rendered lattices, so the bound is looser than the request one.
+const maxProxyBody = 4 << 20
+
+// jobIDSep joins the owning shard's ID and the backend-local job id in
+// client-visible job ids ("localhost:7151~jab12cd-4"), so every poll,
+// event stream, or trace fetch routes straight to the owning backend
+// with no routing table — the id IS the route. '~' is URL-unreserved
+// and appears in neither host:port IDs nor janusd job ids.
+const jobIDSep = "~"
+
+// proxyHTTP is the long-request client: no timeout (synthesis waits
+// and SSE streams are bounded server-side / by the client connection),
+// generous keep-alives toward the same few backends.
+var proxyHTTP = &http.Client{
+	Transport: &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 64,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
+
+// Handler returns the front tier's HTTP API — the same surface janusd
+// serves, routed by function key:
+//
+//	POST /v1/synthesize         route to the key's owner (failover down the rank)
+//	GET  /v1/jobs/{id}          routed by the shard embedded in the job id
+//	GET  /v1/jobs/{id}/events   SSE/long-poll passthrough to the owning shard
+//	GET  /v1/jobs/{id}/trace    trace passthrough
+//	GET  /v1/stats              merged backend stats + the front's own block
+//	GET  /healthz               front health (503 when no backend is routable)
+//	/metrics, /debug/…          the obsv debug surface
+func (f *Front) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/synthesize", f.instrument("synthesize", slog.LevelInfo, f.handleSynthesize))
+	mux.HandleFunc("GET /v1/jobs/{id}", f.instrument("jobs", slog.LevelInfo, f.handleJob))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", f.instrument("events", slog.LevelDebug, f.handleJobEvents))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", f.instrument("trace", slog.LevelInfo, f.handleJobTrace))
+	mux.HandleFunc("GET /v1/stats", f.instrument("stats", slog.LevelDebug, f.handleStats))
+	mux.HandleFunc("GET /healthz", f.instrument("healthz", slog.LevelDebug, f.handleHealthz))
+	mux.Handle("/metrics", obsv.DebugHandler(nil))
+	mux.Handle("/debug/", obsv.DebugHandler(nil))
+	return mux
+}
+
+// statusWriter captures the status code for access logs; Unwrap lets
+// http.ResponseController reach the connection's Flusher for SSE.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(c int) {
+	w.code = c
+	w.ResponseWriter.WriteHeader(c)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// instrument resolves the request id (honoring a plausible inbound
+// X-Request-Id, minting otherwise — the same id is forwarded to the
+// backend, so one id names the request across the whole tier) and
+// writes one access log line.
+func (f *Front) instrument(endpoint string, lvl slog.Level, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := sanitizeRequestID(r.Header.Get("X-Request-Id"))
+		if id == "" {
+			id = f.newRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r.WithContext(obsv.ContextWithRequestID(r.Context(), id)))
+		d := time.Since(start)
+		hProxyNS.Observe(int64(d))
+		f.log.Log(r.Context(), lvl, "http",
+			"endpoint", endpoint, "method", r.Method, "path", r.URL.Path,
+			"status", sw.code, "request_id", id, "dur_ms", float64(d)/1e6)
+	}
+}
+
+// sanitizeRequestID mirrors janusd's inbound-id policy.
+func sanitizeRequestID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.' || c == ':':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// handleSynthesize routes a synthesis to its function key's owner, with
+// deterministic failover down the rendezvous rank and Retry-After-paced
+// retries on backpressure. When the key's owner changed since the last
+// membership change, the forward carries an X-Janus-Fill-From hint
+// naming the previous owner so the new one can fill its cache instead
+// of re-solving.
+func (f *Front) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	reqID := obsv.RequestIDFromContext(r.Context())
+	f.nRouted.Add(1)
+	mRequests.Inc()
+	var req service.Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxProxyBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), reqID)
+		return
+	}
+	fnKey, err := service.FnKeyOf(req)
+	if err != nil {
+		// The backend would reject it identically; failing here keeps bad
+		// payloads off the network and gives the same 400 shape.
+		writeError(w, http.StatusBadRequest, err.Error(), reqID)
+		return
+	}
+	w.Header().Set("X-Janus-Fn-Key", fnKey)
+	body, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error(), reqID)
+		return
+	}
+
+	rank := f.shards.rank(fnKey)
+	if len(rank) == 0 {
+		f.nNoBackend.Add(1)
+		mNoBackend.Inc()
+		writeError(w, http.StatusServiceUnavailable, "front: no healthy backends", reqID)
+		return
+	}
+	prev, hasPrev := f.shards.prevOwner(fnKey)
+	_, live := f.shards.snapshot()
+
+	var lastErr error
+	for attempt, b := range rank {
+		if attempt > 0 {
+			f.nFailovers.Add(1)
+			mFailovers.Inc()
+			f.log.Warn("failover", "fn_key", fnPrefix(fnKey), "request_id", reqID,
+				"to", b.ID, "attempt", attempt, "err", errString(lastErr))
+		}
+		// Hint at the previous owner when it is a different, live backend
+		// — exactly the reshard case where the target's cache is cold but
+		// a peer's is warm.
+		fill := ""
+		if hasPrev && prev.ID != b.ID && live[prev.ID] {
+			fill = prev.URL
+		}
+		done, err := f.forwardSynthesize(r.Context(), w, b, body, reqID, fill)
+		if done {
+			return
+		}
+		lastErr = err
+	}
+	mProxyErrors.Inc()
+	writeError(w, http.StatusBadGateway,
+		fmt.Sprintf("front: all backends failed: %v", lastErr), reqID)
+}
+
+// forwardSynthesize tries one backend, pacing bounded 429 retries by
+// its Retry-After. It reports done=true when a response (success OR a
+// passthrough error like 400/429) was written; false asks the caller to
+// fail over to the next backend in rank.
+func (f *Front) forwardSynthesize(ctx context.Context, w http.ResponseWriter, b Backend, body []byte, reqID, fill string) (bool, error) {
+	var lastErr error
+	for try := 0; ; try++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			b.URL+"/v1/synthesize", bytes.NewReader(body))
+		if err != nil {
+			return false, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Request-Id", reqID)
+		if fill != "" {
+			req.Header.Set("X-Janus-Fill-From", fill)
+			f.nFillHints.Add(1)
+			mFillHints.Inc()
+			fill = "" // one hint per request is enough; retries skip it
+		}
+		resp, err := proxyHTTP.Do(req)
+		if err != nil {
+			return false, err
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+		resp.Body.Close()
+		if err != nil {
+			return false, err
+		}
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests && try < f.cfg.Retry429:
+			f.nRetries.Add(1)
+			mRetries429.Inc()
+			wait := service.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
+			if wait <= 0 {
+				wait = 200 * time.Millisecond
+			}
+			if wait > f.cfg.RetryAfterCap {
+				wait = f.cfg.RetryAfterCap
+			}
+			select {
+			case <-time.After(wait):
+				continue
+			case <-ctx.Done():
+				return false, ctx.Err()
+			}
+		case resp.StatusCode >= 500:
+			// The backend is there but unwell (draining 503, internal
+			// error): deterministic fallback takes over.
+			lastErr = fmt.Errorf("%s: %s", b.ID, strings.TrimSpace(firstLine(data)))
+			return false, lastErr
+		default:
+			// 2xx, 400s, or an exhausted 429: the client's answer. Rewrite
+			// the job id so follow-ups route by shard.
+			f.writeProxied(w, resp, data, b)
+			return true, nil
+		}
+	}
+}
+
+// writeProxied relays a backend response, rewriting job ids to embed
+// the owning shard. Unparseable bodies relay byte-for-byte.
+func (f *Front) writeProxied(w http.ResponseWriter, resp *http.Response, data []byte, b Backend) {
+	copyHeader(w, resp, "Retry-After")
+	copyHeader(w, resp, "X-Janus-Fn-Key")
+	var jr service.Response
+	if json.Unmarshal(data, &jr) == nil {
+		if jr.JobID != "" {
+			jr.JobID = b.ID + jobIDSep + jr.JobID
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		json.NewEncoder(w).Encode(jr) //nolint:errcheck // client gone is not actionable
+		return
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(data) //nolint:errcheck // client gone is not actionable
+}
+
+// splitJobID resolves a front job id to its owning backend and the
+// backend-local id.
+func (f *Front) splitJobID(id string) (*backendState, string, bool) {
+	i := strings.LastIndex(id, jobIDSep)
+	if i <= 0 || i == len(id)-1 {
+		return nil, "", false
+	}
+	st, ok := f.byID[id[:i]]
+	return st, id[i+1:], ok
+}
+
+// handleJob proxies a poll to the shard embedded in the job id. The
+// backend is tried even when marked unhealthy: job state lives only
+// there, and a probe-lagged recovery should not 404 a real job.
+func (f *Front) handleJob(w http.ResponseWriter, r *http.Request) {
+	reqID := obsv.RequestIDFromContext(r.Context())
+	st, local, ok := f.splitJobID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "front: unknown shard in job id", reqID)
+		return
+	}
+	f.proxyGet(w, r, st.backend, "/v1/jobs/"+local, reqID, true)
+}
+
+// handleJobTrace proxies a trace fetch (raw JSONL, no rewriting).
+func (f *Front) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	reqID := obsv.RequestIDFromContext(r.Context())
+	st, local, ok := f.splitJobID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "front: unknown shard in job id", reqID)
+		return
+	}
+	f.proxyGet(w, r, st.backend, "/v1/jobs/"+local+"/trace", reqID, false)
+}
+
+// proxyGet relays one GET; rewrite re-embeds the shard in job ids.
+func (f *Front) proxyGet(w http.ResponseWriter, r *http.Request, b Backend, path, reqID string, rewrite bool) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.URL+path, nil)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error(), reqID)
+		return
+	}
+	req.Header.Set("X-Request-Id", reqID)
+	resp, err := proxyHTTP.Do(req)
+	if err != nil {
+		mProxyErrors.Inc()
+		writeError(w, http.StatusBadGateway, fmt.Sprintf("front: %s unreachable: %v", b.ID, err), reqID)
+		return
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	if err != nil {
+		mProxyErrors.Inc()
+		writeError(w, http.StatusBadGateway, err.Error(), reqID)
+		return
+	}
+	if rewrite {
+		f.writeProxied(w, resp, data, b)
+		return
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(data) //nolint:errcheck // client gone is not actionable
+}
+
+// handleJobEvents proxies a job's progress stream. The ?wait= long-poll
+// form buffers one JSON page (rewriting the job id); the SSE form
+// streams chunk by chunk with an explicit flush per read so events
+// cross the proxy as they happen, honoring Last-Event-ID for resume.
+func (f *Front) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	reqID := obsv.RequestIDFromContext(r.Context())
+	st, local, ok := f.splitJobID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "front: unknown shard in job id", reqID)
+		return
+	}
+	b := st.backend
+	url := b.URL + "/v1/jobs/" + local + "/events"
+	if q := r.URL.RawQuery; q != "" {
+		url += "?" + q
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error(), reqID)
+		return
+	}
+	req.Header.Set("X-Request-Id", reqID)
+	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		req.Header.Set("Last-Event-ID", lei)
+	}
+	resp, err := proxyHTTP.Do(req)
+	if err != nil {
+		mProxyErrors.Inc()
+		writeError(w, http.StatusBadGateway, fmt.Sprintf("front: %s unreachable: %v", b.ID, err), reqID)
+		return
+	}
+	defer resp.Body.Close()
+
+	if r.URL.Query().Has("wait") {
+		// Long-poll: one buffered JSON page.
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+		if err != nil {
+			mProxyErrors.Inc()
+			writeError(w, http.StatusBadGateway, err.Error(), reqID)
+			return
+		}
+		var page service.EventsPage
+		if resp.StatusCode == http.StatusOK && json.Unmarshal(data, &page) == nil {
+			page.JobID = b.ID + jobIDSep + page.JobID
+			writeJSON(w, http.StatusOK, page)
+			return
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		w.WriteHeader(resp.StatusCode)
+		w.Write(data) //nolint:errcheck // client gone is not actionable
+		return
+	}
+
+	// SSE: stream through, flushing every read so a proxied watcher sees
+	// events with the same latency as a direct one.
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(resp.StatusCode)
+	fl := http.NewResponseController(w)
+	fl.Flush() //nolint:errcheck // no streaming support surfaces on the copy below
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			fl.Flush() //nolint:errcheck // client gone surfaces via r.Context
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Stats is the front's /v1/stats body: its own routing state, one row
+// per backend, and fleet totals.
+type Stats struct {
+	Front    FrontInfo       `json:"front"`
+	Backends []BackendStatus `json:"backends"`
+	Totals   Totals          `json:"totals"`
+}
+
+// FrontInfo is the front tier's own state and counters.
+type FrontInfo struct {
+	Epoch           uint64 `json:"epoch"`
+	Backends        int    `json:"backends"`
+	HealthyBackends int    `json:"healthy_backends"`
+	Routed          int64  `json:"routed_total"`
+	Failovers       int64  `json:"failovers_total"`
+	Retries429      int64  `json:"retries_429_total"`
+	FillHints       int64  `json:"fill_hints_total"`
+	NoBackend       int64  `json:"no_backend_total"`
+}
+
+// BackendStatus is one backend's view from the front.
+type BackendStatus struct {
+	ID              string `json:"id"`
+	URL             string `json:"url"`
+	Healthy         bool   `json:"healthy"`
+	Draining        bool   `json:"draining,omitempty"`
+	ConsecFailures  int    `json:"consecutive_failures,omitempty"`
+	MembershipFlips int    `json:"membership_flips,omitempty"`
+	QueueDepth      int    `json:"queue_depth"`
+	QueueCapacity   int    `json:"queue_capacity,omitempty"`
+	Error           string `json:"error,omitempty"`
+	// Stats is the backend's own /v1/stats body (only on the stats
+	// endpoint's live fan-out; nil when the backend was unreachable).
+	Stats *service.Stats `json:"stats,omitempty"`
+}
+
+// Totals sums the reachable backends' queue capacity and load.
+type Totals struct {
+	QueueDepth    int   `json:"queue_depth"`
+	QueueCapacity int   `json:"queue_capacity"`
+	Running       int64 `json:"running_jobs"`
+	Workers       int   `json:"workers"`
+	DiskEntries   int   `json:"disk_entries"`
+}
+
+// statsSnapshot builds the front-and-membership view from the poller's
+// cached state (no network).
+func (f *Front) statsSnapshot() Stats {
+	epoch, live := f.shards.snapshot()
+	out := Stats{}
+	healthy := 0
+	for _, st := range f.states {
+		st.mu.Lock()
+		bs := BackendStatus{
+			ID: st.backend.ID, URL: st.backend.URL,
+			Healthy: live[st.backend.ID], Draining: st.draining,
+			ConsecFailures: st.fails, MembershipFlips: st.flips,
+			QueueDepth: st.queueDepth, QueueCapacity: st.queueCap,
+			Error: st.lastErr,
+		}
+		st.mu.Unlock()
+		if bs.Healthy {
+			healthy++
+		}
+		out.Backends = append(out.Backends, bs)
+	}
+	out.Front = FrontInfo{
+		Epoch: epoch, Backends: len(f.states), HealthyBackends: healthy,
+		Routed: f.nRouted.Load(), Failovers: f.nFailovers.Load(),
+		Retries429: f.nRetries.Load(), FillHints: f.nFillHints.Load(),
+		NoBackend: f.nNoBackend.Load(),
+	}
+	return out
+}
+
+// handleStats merges a live fan-out of every backend's /v1/stats into
+// the front's own snapshot.
+func (f *Front) handleStats(w http.ResponseWriter, r *http.Request) {
+	out := f.statsSnapshot()
+	ctx, cancel := context.WithTimeout(r.Context(), f.cfg.StatsTimeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	stats := make([]*service.Stats, len(f.states))
+	for i, st := range f.states {
+		wg.Add(1)
+		go func(i int, st *backendState) {
+			defer wg.Done()
+			s, err := st.client.ServerStats(ctx)
+			if err == nil {
+				stats[i] = s
+			}
+		}(i, st)
+	}
+	wg.Wait()
+	for i, s := range stats {
+		if s == nil {
+			continue
+		}
+		out.Backends[i].Stats = s
+		out.Backends[i].QueueDepth = s.QueueDepth
+		out.Backends[i].QueueCapacity = s.QueueCapacity
+		out.Totals.QueueDepth += s.QueueDepth
+		out.Totals.QueueCapacity += s.QueueCapacity
+		out.Totals.Running += s.Running
+		out.Totals.Workers += s.Workers
+		out.Totals.DiskEntries += s.DiskEntries
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealthz answers from the poller's cached state: 200 while at
+// least one backend is routable, 503 otherwise — a front with no
+// backends must look down to ITS load balancer.
+func (f *Front) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	out := f.statsSnapshot()
+	code := http.StatusOK
+	if out.Front.HealthyBackends == 0 {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, out)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is not actionable
+}
+
+func writeError(w http.ResponseWriter, code int, msg, reqID string) {
+	writeJSON(w, code, service.Response{Status: service.StatusError, Error: msg, RequestID: reqID})
+}
+
+// copyHeader relays one named header from a backend response when set.
+func copyHeader(w http.ResponseWriter, resp *http.Response, name string) {
+	if v := resp.Header.Get(name); v != "" {
+		w.Header().Set(name, v)
+	}
+}
+
+// fnPrefix shortens a function key for logs.
+func fnPrefix(k string) string {
+	if len(k) > 12 {
+		return k[:12]
+	}
+	return k
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func firstLine(data []byte) string {
+	s := string(data)
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}

@@ -1,0 +1,161 @@
+// Package front implements janusfront, the consistent-hash sharding
+// tier in front of N janusd backends.
+//
+// The canonical request key is already split into a budget-free
+// function key (fnKey) plus budget fields, so the front routes every
+// synthesis for the same function — any budget, any spelling — to the
+// same backend. That shard affinity is what buys the per-node machinery
+// its leverage at fleet scale: identical in-flight requests coalesce
+// because they meet on one daemon, the result cache and the budget
+// index see every budget variant of a function, and the path-memo
+// warms per shard instead of per fleet.
+//
+// Membership is health-aware: a poller watches each backend's /healthz
+// (which reports drain state and queue depth), ejects a backend after
+// consecutive failures, and re-admits it on recovery. Routing uses
+// rendezvous (highest-random-weight) hashing, so a membership change
+// moves only the keys the changed backend owned (~1/N of the space) and
+// every key has a deterministic fallback order. When a key's owner
+// changes, the front hints the new owner at the previous one
+// (X-Janus-Fill-From), and the new owner fills its cache from the
+// peer's instead of re-solving — resharding must not stampede the
+// solvers.
+package front
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"sync"
+)
+
+// Backend is one routable janusd.
+type Backend struct {
+	// ID is the stable shard identity the rendezvous hash weighs. It is
+	// derived from the backend URL (host:port), NOT the flag position,
+	// so restarting the front with a reordered -backends list does not
+	// remap the key space.
+	ID string
+	// URL is the daemon root, e.g. "http://10.0.0.7:7151".
+	URL string
+}
+
+// shardMap is the health-aware rendezvous hash over the configured
+// backends. It keeps the previous alive-set across the latest
+// membership change, so the router can name the previous owner of a
+// key — the peer a resharded key's new owner should fill from.
+type shardMap struct {
+	mu      sync.Mutex
+	members []Backend
+	alive   map[string]bool // by Backend.ID
+	prev    map[string]bool // alive-set before the last change
+	epoch   uint64          // bumped on every membership change
+}
+
+func newShardMap(members []Backend) *shardMap {
+	m := &shardMap{
+		members: append([]Backend(nil), members...),
+		alive:   make(map[string]bool, len(members)),
+		prev:    make(map[string]bool, len(members)),
+	}
+	// Start optimistic: every configured backend is routable until the
+	// health poller says otherwise, so a cold front does not 503 its
+	// first requests while the first poll round is in flight.
+	for _, b := range members {
+		m.alive[b.ID] = true
+		m.prev[b.ID] = true
+	}
+	return m
+}
+
+// setAlive updates one backend's membership, returning whether the map
+// changed (and, if so, bumping the epoch and rotating the previous
+// alive-set).
+func (m *shardMap) setAlive(id string, ok bool) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.alive[id] == ok {
+		return false
+	}
+	m.prev = make(map[string]bool, len(m.alive))
+	for k, v := range m.alive {
+		m.prev[k] = v
+	}
+	m.alive[id] = ok
+	m.epoch++
+	return true
+}
+
+// snapshot returns the current epoch and per-backend liveness.
+func (m *shardMap) snapshot() (uint64, map[string]bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]bool, len(m.alive))
+	for k, v := range m.alive {
+		out[k] = v
+	}
+	return m.epoch, out
+}
+
+// rank returns the healthy backends for key, owner first, in
+// deterministic descending rendezvous weight — the failover order.
+func (m *shardMap) rank(key string) []Backend {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return rankOver(m.members, m.alive, key)
+}
+
+// prevOwner returns the owner of key under the alive-set that preceded
+// the last membership change (false when the previous set was empty).
+func (m *shardMap) prevOwner(key string) (Backend, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := rankOver(m.members, m.prev, key)
+	if len(r) == 0 {
+		return Backend{}, false
+	}
+	return r[0], true
+}
+
+// rankOver orders the live members of set by rendezvous weight for key,
+// highest first; ties (astronomically unlikely with 64-bit scores)
+// break by ID so the order stays total and deterministic.
+func rankOver(members []Backend, live map[string]bool, key string) []Backend {
+	type scored struct {
+		b Backend
+		w uint64
+	}
+	sc := make([]scored, 0, len(members))
+	for _, b := range members {
+		if !live[b.ID] {
+			continue
+		}
+		sc = append(sc, scored{b, rendezvousScore(b.ID, key)})
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].w != sc[j].w {
+			return sc[i].w > sc[j].w
+		}
+		return sc[i].b.ID < sc[j].b.ID
+	})
+	out := make([]Backend, len(sc))
+	for i, s := range sc {
+		out[i] = s.b
+	}
+	return out
+}
+
+// rendezvousScore is the highest-random-weight score of (backend, key):
+// the first 8 bytes of sha256(id || 0x00 || key). sha256 keeps the
+// weights uniform for any ID/key shape (fnKeys are themselves sha256
+// hex, but IDs are host:port strings), and the scorer must never change
+// — every deployed front and every cached shard assignment depends on
+// this exact function.
+func rendezvousScore(id, key string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(id))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	var d [sha256.Size]byte
+	return binary.BigEndian.Uint64(h.Sum(d[:0])[:8])
+}

@@ -1,0 +1,213 @@
+package front
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mkBackends(n int) []Backend {
+	out := make([]Backend, n)
+	for i := range out {
+		id := fmt.Sprintf("host%d:7151", i)
+		out[i] = Backend{ID: id, URL: "http://" + id}
+	}
+	return out
+}
+
+func mkKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// fnKeys are sha256 hex in production; any string works for the
+		// hash, and a cheap deterministic spread keeps the test stable.
+		keys[i] = fmt.Sprintf("fnkey-%06d", i)
+	}
+	return keys
+}
+
+func allAlive(bs []Backend) map[string]bool {
+	m := make(map[string]bool, len(bs))
+	for _, b := range bs {
+		m[b.ID] = true
+	}
+	return m
+}
+
+// TestRendezvousBalance checks the owner distribution over many keys is
+// near-uniform for several fleet sizes: a chi-square-style bound on the
+// per-backend deviation from the expected share.
+func TestRendezvousBalance(t *testing.T) {
+	keys := mkKeys(20000)
+	for _, n := range []int{3, 5, 8} {
+		t.Run(fmt.Sprintf("backends=%d", n), func(t *testing.T) {
+			bs := mkBackends(n)
+			live := allAlive(bs)
+			counts := make(map[string]int, n)
+			for _, k := range keys {
+				r := rankOver(bs, live, k)
+				counts[r[0].ID]++
+			}
+			exp := float64(len(keys)) / float64(n)
+			var chi2 float64
+			for _, b := range bs {
+				c := counts[b.ID]
+				d := float64(c) - exp
+				chi2 += d * d / exp
+				// No backend may own a grossly skewed share (±15% of the
+				// expected load at 20k keys is far beyond random noise).
+				if float64(c) < exp*0.85 || float64(c) > exp*1.15 {
+					t.Errorf("backend %s owns %d keys, expected ~%.0f", b.ID, c, exp)
+				}
+			}
+			// Chi-square with n-1 degrees of freedom: even the p=0.001
+			// critical value for 7 dof is ~24.3; a hash-quality failure
+			// shows up orders of magnitude above this.
+			if chi2 > 30 {
+				t.Errorf("chi-square %.1f too high for %d backends — ownership not uniform", chi2, n)
+			}
+		})
+	}
+}
+
+// TestRendezvousMinimalDisruption checks the consistent-hash property
+// the tier exists for: removing a backend moves ONLY its keys (every
+// survivor keeps what it owned), and adding one moves only ~1/N of the
+// space to the newcomer.
+func TestRendezvousMinimalDisruption(t *testing.T) {
+	keys := mkKeys(10000)
+	bs := mkBackends(5)
+	live := allAlive(bs)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = rankOver(bs, live, k)[0].ID
+	}
+
+	t.Run("leave", func(t *testing.T) {
+		gone := bs[2].ID
+		live2 := allAlive(bs)
+		live2[gone] = false
+		moved := 0
+		for _, k := range keys {
+			now := rankOver(bs, live2, k)[0].ID
+			if before[k] != now {
+				moved++
+				if before[k] != gone {
+					t.Fatalf("key %s moved %s -> %s though %s left", k, before[k], now, gone)
+				}
+			}
+		}
+		exp := float64(len(keys)) / 5
+		if f := float64(moved); f < exp*0.8 || f > exp*1.2 {
+			t.Errorf("%d keys moved on leave, expected ~%.0f (1/N of the space)", moved, exp)
+		}
+	})
+
+	t.Run("join", func(t *testing.T) {
+		joined := mkBackends(6) // host5 is new
+		live6 := allAlive(joined)
+		newcomer := joined[5].ID
+		moved := 0
+		for _, k := range keys {
+			now := rankOver(joined, live6, k)[0].ID
+			if before[k] != now {
+				moved++
+				if now != newcomer {
+					t.Fatalf("key %s moved %s -> %s though only %s joined", k, before[k], now, newcomer)
+				}
+			}
+		}
+		exp := float64(len(keys)) / 6
+		if f := float64(moved); f < exp*0.8 || f > exp*1.2 {
+			t.Errorf("%d keys moved on join, expected ~%.0f (1/(N+1) of the space)", moved, exp)
+		}
+	})
+}
+
+// TestRankDeterministic checks the full failover order is a pure
+// function of (membership, key): identical across calls and independent
+// of member declaration order.
+func TestRankDeterministic(t *testing.T) {
+	bs := mkBackends(5)
+	live := allAlive(bs)
+	for _, k := range mkKeys(50) {
+		r1 := rankOver(bs, live, k)
+		if len(r1) != 5 {
+			t.Fatalf("rank dropped members: %d", len(r1))
+		}
+		// Reversed declaration order must not change the ranking.
+		rev := make([]Backend, len(bs))
+		for i, b := range bs {
+			rev[len(bs)-1-i] = b
+		}
+		r2 := rankOver(rev, live, k)
+		for i := range r1 {
+			if r1[i].ID != r2[i].ID {
+				t.Fatalf("rank depends on declaration order at %d: %s vs %s",
+					i, r1[i].ID, r2[i].ID)
+			}
+		}
+		// And the order must follow the scores strictly.
+		for i := 1; i < len(r1); i++ {
+			a, b := rendezvousScore(r1[i-1].ID, k), rendezvousScore(r1[i].ID, k)
+			if a < b {
+				t.Fatalf("rank not in descending score order at %d", i)
+			}
+		}
+	}
+}
+
+// TestShardMapEpochAndPrev checks membership bookkeeping: epoch bumps
+// only on real changes, and prevOwner names the pre-change owner of a
+// rerouted key (the peer a cache fill should come from).
+func TestShardMapEpochAndPrev(t *testing.T) {
+	bs := mkBackends(3)
+	m := newShardMap(bs)
+	epoch0, live := m.snapshot()
+	if epoch0 != 0 || len(live) != 3 {
+		t.Fatalf("fresh map: epoch=%d live=%v", epoch0, live)
+	}
+
+	// Find a key owned by bs[0].
+	var key string
+	for _, k := range mkKeys(200) {
+		if m.rank(k)[0].ID == bs[0].ID {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key owned by backend 0 in sample")
+	}
+
+	if m.setAlive(bs[0].ID, true) {
+		t.Fatal("no-op setAlive reported a change")
+	}
+	if !m.setAlive(bs[0].ID, false) {
+		t.Fatal("ejection not reported as a change")
+	}
+	epoch1, _ := m.snapshot()
+	if epoch1 != epoch0+1 {
+		t.Fatalf("epoch %d after one change, want %d", epoch1, epoch0+1)
+	}
+	// The key now routes elsewhere, and prevOwner still names bs[0] —
+	// exactly the fill-from peer... but bs[0] is dead, so the router
+	// checks liveness before hinting. After bs[0] recovers, the rotation
+	// means prevOwner reflects the set without it.
+	if owner := m.rank(key)[0].ID; owner == bs[0].ID {
+		t.Fatalf("ejected backend still owns %s", key)
+	}
+	prev, ok := m.prevOwner(key)
+	if !ok || prev.ID != bs[0].ID {
+		t.Fatalf("prevOwner = %v,%v want %s", prev, ok, bs[0].ID)
+	}
+
+	if !m.setAlive(bs[0].ID, true) {
+		t.Fatal("re-admission not reported as a change")
+	}
+	if owner := m.rank(key)[0].ID; owner != bs[0].ID {
+		t.Fatalf("re-admitted backend does not own its key again: %s", owner)
+	}
+	prev, ok = m.prevOwner(key)
+	if !ok || prev.ID == bs[0].ID {
+		t.Fatalf("prevOwner after recovery should be the interim owner, got %s", prev.ID)
+	}
+}

@@ -49,26 +49,48 @@ func (s *Server) budgetOf(p *parsedRequest) (mc int64, timeout time.Duration) {
 // recordBudget indexes a finished done-outcome for cross-budget reuse.
 func (s *Server) recordBudget(p *parsedRequest, matchedLB bool) {
 	mc, timeout := s.budgetOf(p)
+	s.recordBudgetRaw(p.fnKey, p.key, mc, timeout, matchedLB)
+}
+
+// recordBudgetRaw indexes an answer by its already-normalized budget —
+// the peer-fill path uses this directly, because the budget a peer's
+// answer was computed under is not this request's budget.
+func (s *Server) recordBudgetRaw(fnKey, key string, mc int64, timeout time.Duration, matchedLB bool) {
 	s.budMu.Lock()
 	defer s.budMu.Unlock()
-	list := s.budgets[p.fnKey]
+	list := s.budgets[fnKey]
 	for i := range list {
-		if list[i].key == p.key {
-			list[i] = budgetEntry{key: p.key, mc: mc, timeout: timeout, matchedLB: matchedLB}
+		if list[i].key == key {
+			list[i] = budgetEntry{key: key, mc: mc, timeout: timeout, matchedLB: matchedLB}
 			return
 		}
 	}
-	list = append(list, budgetEntry{key: p.key, mc: mc, timeout: timeout, matchedLB: matchedLB})
+	list = append(list, budgetEntry{key: key, mc: mc, timeout: timeout, matchedLB: matchedLB})
 	if len(list) > maxBudgetEntries {
 		list = list[len(list)-maxBudgetEntries:]
 	}
-	s.budgets[p.fnKey] = list
+	s.budgets[fnKey] = list
 }
 
 // budgetHit serves a request from an answer stored under a different
-// budget when one of the reuse rules applies. Entries whose answers
-// have aged out of both cache tiers are pruned as they are discovered.
+// budget when one of the reuse rules applies.
 func (s *Server) budgetHit(p *parsedRequest) (*outcome, string, bool) {
+	out, _, where, ok := s.budgetMatchWhere(p)
+	return out, where, ok
+}
+
+// budgetMatch is budgetHit plus the matched index entry, for callers
+// (the peer cache-lookup endpoint) that need the answer's own budget
+// identity, not just its bytes.
+func (s *Server) budgetMatch(p *parsedRequest) (*outcome, budgetEntry, bool) {
+	out, e, _, ok := s.budgetMatchWhere(p)
+	return out, e, ok
+}
+
+// budgetMatchWhere applies the reuse rules against the budget index.
+// Entries whose answers have aged out of both cache tiers are pruned as
+// they are discovered.
+func (s *Server) budgetMatchWhere(p *parsedRequest) (*outcome, budgetEntry, string, bool) {
 	reqMC, reqTO := s.budgetOf(p)
 	s.budMu.Lock()
 	candidates := append([]budgetEntry(nil), s.budgets[p.fnKey]...)
@@ -84,11 +106,11 @@ func (s *Server) budgetHit(p *parsedRequest) (*outcome, string, bool) {
 		}
 		if out, where, ok := s.cached(e.key); ok {
 			mBudgetHits.Inc()
-			return out, where, true
+			return out, e, where, true
 		}
 		s.dropBudget(p.fnKey, e.key)
 	}
-	return nil, "", false
+	return nil, budgetEntry{}, "", false
 }
 
 // dropBudget removes a stale entry whose cached answer is gone.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,26 +13,66 @@ import (
 	"time"
 )
 
-// Client is a minimal janusd API client (cmd/janusload and embedders).
-// The zero HTTPClient uses http.DefaultClient; synthesis waits are
-// bounded server-side, so callers should not set short client timeouts.
+// Client is a minimal janusd API client (cmd/janusload, janusfront, and
+// embedders). The zero HTTPClient uses a package-shared keep-alive
+// client; synthesis waits are bounded server-side, so callers should
+// not set short client timeouts — use WithTimeout only for control
+// endpoints (health polls, cache lookups), never for Synthesize.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://localhost:7151".
 	BaseURL string
-	// HTTPClient overrides the transport; nil uses http.DefaultClient.
+	// HTTPClient overrides the transport; nil uses the shared keep-alive
+	// client (sharedHTTPClient).
 	HTTPClient *http.Client
 }
 
+// sharedHTTPClient is the default transport for every Client in the
+// process: one connection pool with generous per-host keep-alives, so a
+// front tier holding long-lived SSE streams plus health polls against
+// the same few backends reuses connections instead of re-dialing —
+// building a fresh http.Client per call would defeat pooling entirely.
+var sharedHTTPClient = &http.Client{
+	Transport: &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 64,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
+
+// ClientOption configures a Client at construction.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the whole HTTP client (transport, timeout,
+// cookie policy). The caller owns its lifecycle.
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.HTTPClient = hc }
+}
+
+// WithTimeout bounds every request made by this client, sharing the
+// default keep-alive transport. Suitable for health polls and cache
+// lookups; do not apply to clients that call Synthesize or stream
+// events — those waits are legitimately long and bounded server-side.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) {
+		c.HTTPClient = &http.Client{Transport: sharedHTTPClient.Transport, Timeout: d}
+	}
+}
+
 // NewClient returns a client for the daemon at baseURL.
-func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 func (c *Client) http() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return http.DefaultClient
+	return sharedHTTPClient
 }
 
 // APIError reports a non-2xx API answer, preserving the code so
@@ -94,6 +135,13 @@ func (c *Client) do(ctx context.Context, method, path string, body, into any) er
 	return json.Unmarshal(data, into)
 }
 
+// ParseRetryAfter is the exported form of parseRetryAfter, for callers
+// (the front tier's 429 pacing) that read Retry-After off raw responses
+// rather than through this client.
+func ParseRetryAfter(header string, now time.Time) time.Duration {
+	return parseRetryAfter(header, now)
+}
+
 // parseRetryAfter reads a Retry-After header per RFC 7231 §7.1.3: a
 // non-negative integer delay in seconds, or an HTTP-date (converted to
 // a delay relative to now). Anything else — empty, fractional,
@@ -153,6 +201,24 @@ func (c *Client) JobEvents(ctx context.Context, id string, after uint64, wait ti
 		return nil, err
 	}
 	return &page, nil
+}
+
+// CacheLookup asks the daemon's cache for an answer to fnKey that is
+// compatible with the given budget (the peer cache-fill protocol). A
+// clean miss returns (nil, nil); errors are transport or server
+// failures.
+func (c *Client) CacheLookup(ctx context.Context, fnKey string, timeoutMS, maxConflicts int64) (*CacheEntry, error) {
+	var ent CacheEntry
+	path := fmt.Sprintf("/v1/cache/%s?timeout_ms=%d&max_conflicts=%d",
+		fnKey, timeoutMS, maxConflicts)
+	if err := c.do(ctx, http.MethodGet, path, nil, &ent); err != nil {
+		var ae *APIError
+		if errors.As(err, &ae) && ae.Code == http.StatusNotFound {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return &ent, nil
 }
 
 // Health reads /healthz (an error with Code 503 means draining).

@@ -70,3 +70,59 @@ func TestClientRetryAfterHeader(t *testing.T) {
 		}
 	}
 }
+
+// TestClientOptions: the construction options must behave as the front
+// tier depends on them — the zero client shares the process keep-alive
+// transport, WithTimeout bounds requests while still sharing that
+// transport, and WithHTTPClient takes the caller's client verbatim.
+func TestClientOptions(t *testing.T) {
+	if c := NewClient("http://x"); c.http() != sharedHTTPClient {
+		t.Fatal("zero-option client must use the shared keep-alive client")
+	}
+
+	c := NewClient("http://x", WithTimeout(250*time.Millisecond))
+	if c.HTTPClient == nil || c.HTTPClient.Timeout != 250*time.Millisecond {
+		t.Fatalf("WithTimeout not applied: %+v", c.HTTPClient)
+	}
+	if c.HTTPClient.Transport != sharedHTTPClient.Transport {
+		t.Fatal("WithTimeout must share the pooled transport, not build a new one")
+	}
+
+	own := &http.Client{}
+	if c := NewClient("http://x", WithHTTPClient(own)); c.http() != own {
+		t.Fatal("WithHTTPClient ignored")
+	}
+
+	// And the timeout actually bites: a stalling server turns into a
+	// client-side deadline error, not a hang.
+	stall := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-stall
+	}))
+	defer func() { close(stall); ts.Close() }()
+	tc := NewClient(ts.URL, WithTimeout(50*time.Millisecond))
+	if _, err := tc.Health(context.Background()); err == nil {
+		t.Fatal("bounded client returned from a stalled server")
+	}
+}
+
+// TestClientKeepAlive: consecutive requests over the shared transport
+// reuse one TCP connection — the reason the front can hold health polls
+// plus request traffic against few backends without dial churn.
+func TestClientKeepAlive(t *testing.T) {
+	remotes := make(map[string]int)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		remotes[r.RemoteAddr]++
+		w.Write([]byte(`{"queue_depth":0}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	for i := 0; i < 8; i++ {
+		if _, err := c.Health(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(remotes) != 1 {
+		t.Fatalf("%d distinct client connections for 8 sequential requests, want 1 (keep-alive broken)", len(remotes))
+	}
+}

@@ -46,6 +46,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("events", nil, slog.LevelDebug, s.handleJobEvents))
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.instrument("trace", nil, slog.LevelInfo, s.handleJobTrace))
 	mux.HandleFunc("GET /v1/stats", s.instrument("stats", nil, slog.LevelDebug, s.handleStats))
+	// Internal peer surface: a sharding front tier's reshard warm-up asks
+	// the previous owner's cache here before the new owner re-solves.
+	mux.HandleFunc("GET /v1/cache/{fnKey}", s.instrument("cache", nil, slog.LevelDebug, s.handleCacheLookup))
 	// Health probes fire every few seconds; keep their access logs at
 	// debug so the log stream stays about real work.
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", nil, slog.LevelDebug, s.handleHealthz))
@@ -127,9 +130,13 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error(), reqID)
 		return
 	}
+	w.Header().Set("X-Janus-Fn-Key", p.fnKey)
 	ctx, cancel := context.WithTimeout(r.Context(),
 		p.timeout(s.cfg.DefaultTimeout, s.cfg.MaxTimeout)+waitGrace)
 	defer cancel()
+	// A front tier that just resharded this key hints at the previous
+	// owner; the serve path consults its cache before synthesizing.
+	ctx = ContextWithFillFrom(ctx, r.Header.Get("X-Janus-Fill-From"))
 	resp, err := s.Synthesize(ctx, req)
 	if err != nil {
 		switch {
@@ -158,7 +165,45 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.RequestID = reqID
+	if resp.FnKey != "" {
+		w.Header().Set("X-Janus-Fn-Key", resp.FnKey)
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCacheLookup is the peer cache-fill surface: resolve a function
+// key against this daemon's caches under the asking budget (exact key,
+// then the cross-budget rules) and return the answer with its budget
+// identity, or 404. Misses are cheap — two map probes — so peers can
+// ask freely.
+func (s *Server) handleCacheLookup(w http.ResponseWriter, r *http.Request) {
+	reqID := obsv.RequestIDFromContext(r.Context())
+	q := r.URL.Query()
+	timeoutMS := parseInt64(q.Get("timeout_ms"))
+	maxConflicts := parseInt64(q.Get("max_conflicts"))
+	if timeoutMS < 0 || maxConflicts < 0 {
+		writeError(w, http.StatusBadRequest, "negative budget", reqID)
+		return
+	}
+	ent, ok := s.CacheLookup(r.PathValue("fnKey"), timeoutMS, maxConflicts)
+	if !ok {
+		writeError(w, http.StatusNotFound, "cache miss", reqID)
+		return
+	}
+	writeJSON(w, http.StatusOK, ent)
+}
+
+// parseInt64 parses a decimal query value; absent or garbage reads 0,
+// an explicit negative survives so the handler can reject it.
+func parseInt64(v string) int64 {
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
 }
 
 // maxLongPoll caps a single ?wait= long-poll round.

@@ -31,4 +31,12 @@ var (
 
 	mFlightEntries = obsv.Default.Counter("janus_service_flight_entries_total")
 	mTracesPinned  = obsv.Default.Counter("janus_service_traces_pinned_total")
+
+	// Peer cache fill (the front tier's reshard warm-up): lookups served
+	// to peers on /v1/cache/{fnKey}, and fills this daemon performed
+	// against a hinted peer on its own misses.
+	mPeerLookups    = obsv.Default.Counter("janus_service_cache_lookups_total")
+	mPeerLookupHits = obsv.Default.Counter("janus_service_cache_lookup_hits")
+	mPeerFillProbes = obsv.Default.Counter("janus_service_peer_fill_probes_total")
+	mPeerFillHits   = obsv.Default.Counter("janus_service_cache_peer_hits")
 )

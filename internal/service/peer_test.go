@@ -1,0 +1,191 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"github.com/lattice-tools/janus/internal/core"
+	"github.com/lattice-tools/janus/internal/cube"
+)
+
+// peerTestServer is a daemon with a counting synth stub, served over
+// HTTP so peer fill can reach it.
+func peerTestServer(t *testing.T, matchedLB bool) (*Server, *httptest.Server, *atomic.Int32) {
+	t.Helper()
+	s := newTestServer(t, Config{Workers: 1})
+	var calls atomic.Int32
+	s.synth = func(f cube.Cover, opt core.Options) (core.Result, error) {
+		calls.Add(1)
+		r := fakeResult()
+		r.MatchedLB = matchedLB
+		return r, nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, &calls
+}
+
+// TestCacheLookupEndpoint: the peer cache-fill endpoint answers with
+// the entry's exact key and normalized budget on a hit, 404s a clean
+// miss, and applies the budget-reuse rules (a MatchedLB answer serves
+// any budget).
+func TestCacheLookupEndpoint(t *testing.T) {
+	_, ts, _ := peerTestServer(t, true)
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+
+	first, err := c.Synthesize(ctx, Request{PLA: fig1PLA, TimeoutMS: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.FnKey == "" {
+		t.Fatal("response did not echo fn_key")
+	}
+
+	// Exact-budget lookup.
+	ent, err := c.CacheLookup(ctx, first.FnKey, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ent == nil || ent.Status != StatusDone || ent.Result == nil {
+		t.Fatalf("lookup miss for a cached answer: %+v", ent)
+	}
+	if ent.FnKey != first.FnKey {
+		t.Fatalf("entry fnKey %s != %s", ent.FnKey, first.FnKey)
+	}
+	if !validKey(ent.Key) {
+		t.Fatalf("entry key not canonical hex: %q", ent.Key)
+	}
+	if !ent.MatchedLB {
+		t.Fatal("MatchedLB lost on the wire")
+	}
+
+	// MatchedLB answers are optimal: a more generous budget still hits
+	// through the budget-reuse rules (stored budget ≤ asked budget).
+	ent2, err := c.CacheLookup(ctx, first.FnKey, 99_999, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ent2 == nil {
+		t.Fatal("MatchedLB entry must serve a larger budget")
+	}
+	// A tighter conflict budget under the same timeout is dominated by
+	// the stored unlimited-conflicts answer: still a sound hit.
+	dom, err := c.CacheLookup(ctx, first.FnKey, 1000, 5)
+	if err != nil || dom == nil {
+		t.Fatalf("dominated budget must hit: ent=%v err=%v", dom, err)
+	}
+	// Incomparable budgets (more timeout, fewer conflicts) fit neither
+	// reuse rule: clean miss.
+	inc, err := c.CacheLookup(ctx, first.FnKey, 99_999, 5)
+	if err != nil || inc != nil {
+		t.Fatalf("incomparable budget must miss: ent=%v err=%v", inc, err)
+	}
+
+	// Unknown function: clean miss is (nil, nil), not an error.
+	miss, err := c.CacheLookup(ctx, "ab12"+first.FnKey[4:], 1000, 0)
+	if err != nil || miss != nil {
+		t.Fatalf("clean miss: ent=%v err=%v", miss, err)
+	}
+}
+
+// TestPeerFill: a daemon pointed at a warm peer via X-Janus-Fill-From
+// adopts the peer's answer instead of synthesizing, serves it as
+// Cached "peer", and keeps it — the next request is a local hit.
+func TestPeerFill(t *testing.T) {
+	_, warmTS, warmCalls := peerTestServer(t, true)
+	cold, coldTS, coldCalls := peerTestServer(t, true)
+
+	warm := NewClient(warmTS.URL)
+	ctx := context.Background()
+	if _, err := warm.Synthesize(ctx, Request{PLA: fig1PLA, TimeoutMS: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if warmCalls.Load() != 1 {
+		t.Fatalf("warm daemon ran %d syntheses, want 1", warmCalls.Load())
+	}
+
+	// The cold daemon, told where the previous owner lives, must fill
+	// rather than solve.
+	out, err := cold.Synthesize(
+		ContextWithFillFrom(ctx, warmTS.URL),
+		Request{PLA: fig1PLA, TimeoutMS: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cached != "peer" {
+		t.Fatalf("cached = %q, want \"peer\"", out.Cached)
+	}
+	if coldCalls.Load() != 0 {
+		t.Fatalf("cold daemon synthesized %d times despite a warm peer", coldCalls.Load())
+	}
+	if out.Result == nil || out.Result.Size != 8 {
+		t.Fatalf("peer-filled result mangled: %+v", out.Result)
+	}
+
+	// Adopted means kept: the follow-up is a local memory hit with no
+	// peer involved.
+	again, err := cold.Synthesize(ctx, Request{PLA: fig1PLA, TimeoutMS: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Cached != "mem" {
+		t.Fatalf("follow-up cached = %q, want \"mem\"", again.Cached)
+	}
+	_ = coldTS
+}
+
+// TestPeerFillUnreachablePeer: a dead or lying peer degrades to a
+// normal local synthesis, never an error.
+func TestPeerFillUnreachablePeer(t *testing.T) {
+	s, ts, calls := peerTestServer(t, false)
+	_ = s
+	c := NewClient(ts.URL)
+	out, err := c.Synthesize(
+		ContextWithFillFrom(context.Background(), "http://127.0.0.1:1"),
+		Request{PLA: fig1PLA, TimeoutMS: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != StatusDone || out.Cached != "" {
+		t.Fatalf("status=%s cached=%q, want a fresh done answer", out.Status, out.Cached)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("%d syntheses, want 1", calls.Load())
+	}
+}
+
+// TestFnKeyEcho: every synthesize answer carries the budget-free key in
+// both the body and the X-Janus-Fn-Key header, and they agree with
+// FnKeyOf — the invariant that lets a front tier route without asking.
+func TestFnKeyEcho(t *testing.T) {
+	_, ts, _ := peerTestServer(t, false)
+	want, err := FnKeyOf(Request{PLA: fig1PLA})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := NewClient(ts.URL).Synthesize(context.Background(), Request{PLA: fig1PLA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.FnKey != want {
+		t.Fatalf("body fn_key %s != FnKeyOf %s", resp.FnKey, want)
+	}
+
+	// The header form needs a raw request (the client only reads bodies).
+	body, _ := json.Marshal(Request{PLA: fig1PLA})
+	hresp, err := http.Post(ts.URL+"/v1/synthesize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if got := hresp.Header.Get("X-Janus-Fn-Key"); got != want {
+		t.Fatalf("X-Janus-Fn-Key = %q, want %s", got, want)
+	}
+}

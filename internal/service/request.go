@@ -82,7 +82,12 @@ type Response struct {
 	// including a 429 shed — can be found in the logs and the flight
 	// recorder.
 	RequestID string `json:"request_id,omitempty"`
-	Status    string `json:"status"`
+	// FnKey is the budget-free canonical function key — the identity a
+	// sharding tier routes on. Echoed (and as the X-Janus-Fn-Key header)
+	// so external routers and debugging tools can shard and correlate
+	// without re-deriving the canonical form.
+	FnKey  string `json:"fn_key,omitempty"`
+	Status string `json:"status"`
 	// Cached says where a done answer came from: "mem", "disk",
 	// "coalesced", or "" for a fresh synthesis.
 	Cached string      `json:"cached,omitempty"`
@@ -114,6 +119,18 @@ type parsedRequest struct {
 	engine core.EngineSelect
 	fnKey  string
 	key    string
+}
+
+// FnKeyOf validates a request and returns its budget-free canonical
+// function key — the routing identity a sharding front tier hashes on.
+// It is exactly the fn_key the daemon echoes in its responses, so a
+// router and its backends can never disagree on a key's owner.
+func FnKeyOf(req Request) (string, error) {
+	p, err := parseRequest(req)
+	if err != nil {
+		return "", err
+	}
+	return p.fnKey, nil
 }
 
 // parseRequest validates the payload and derives the canonical key.

@@ -303,7 +303,7 @@ func (s *Server) Synthesize(ctx context.Context, req Request) (*Response, error)
 			Outcome: out.Status, Cached: where, Grid: outcomeGrid(out),
 			TotalNS: int64(time.Since(start)),
 		})
-		return withRequestID(respond(out, "", where), reqID), nil
+		return withMeta(respond(out, "", where), reqID, p.fnKey), nil
 	}
 	if out, where, ok := s.budgetHit(p); ok {
 		hRequestNS.Observe(int64(time.Since(start)))
@@ -312,7 +312,22 @@ func (s *Server) Synthesize(ctx context.Context, req Request) (*Response, error)
 			Outcome: out.Status, Cached: where, Grid: outcomeGrid(out),
 			TotalNS: int64(time.Since(start)),
 		})
-		return withRequestID(respond(out, "", where), reqID), nil
+		return withMeta(respond(out, "", where), reqID, p.fnKey), nil
+	}
+	// Reshard warm-up: a front tier that just moved this key here hints
+	// at the previous owner; adopting its cached answer (when budget-
+	// compatible) turns what would be a re-solve stampede into one HTTP
+	// round trip. Any failure falls through to a normal synthesis.
+	if peer := fillFrom(ctx); peer != "" {
+		if out, ok := s.peerFill(ctx, peer, p); ok {
+			hRequestNS.Observe(int64(time.Since(start)))
+			s.flight.record(FlightEntry{
+				Time: start, RequestID: reqID, FnKey: fnPrefix(p.fnKey),
+				Outcome: out.Status, Cached: "peer", Grid: outcomeGrid(out),
+				TotalNS: int64(time.Since(start)),
+			})
+			return withMeta(respond(out, "", "peer"), reqID, p.fnKey), nil
+		}
 	}
 	j, coalesced, err := s.admit(p, reqID)
 	if err != nil {
@@ -330,7 +345,7 @@ func (s *Server) Synthesize(ctx context.Context, req Request) (*Response, error)
 	}
 	if req.Async {
 		s.mu.Lock()
-		resp := &Response{JobID: j.id, Status: j.status, RequestID: reqID}
+		resp := &Response{JobID: j.id, Status: j.status, RequestID: reqID, FnKey: p.fnKey}
 		s.mu.Unlock()
 		return resp, nil
 	}
@@ -350,11 +365,11 @@ func (s *Server) Synthesize(ctx context.Context, req Request) (*Response, error)
 				Grid: outcomeGrid(j.out), TotalNS: int64(time.Since(start)),
 			})
 		}
-		return withRequestID(respond(j.out, j.id, cached), reqID), nil
+		return withMeta(respond(j.out, j.id, cached), reqID, p.fnKey), nil
 	case <-ctx.Done():
 		s.abandon(j)
 		s.mu.Lock()
-		resp := &Response{JobID: j.id, Status: j.status, RequestID: reqID}
+		resp := &Response{JobID: j.id, Status: j.status, RequestID: reqID, FnKey: p.fnKey}
 		s.mu.Unlock()
 		return resp, nil
 	}
@@ -365,9 +380,10 @@ func (s *Server) newRequestID() string {
 	return fmt.Sprintf("r%s-%d", s.nonce, s.reqSeq.Add(1))
 }
 
-// withRequestID stamps the request id on a response.
-func withRequestID(r *Response, id string) *Response {
+// withMeta stamps the request id and function key on a response.
+func withMeta(r *Response, id, fnKey string) *Response {
 	r.RequestID = id
+	r.FnKey = fnKey
 	return r
 }
 
@@ -488,6 +504,7 @@ func (s *Server) Job(id string) (*Response, bool) {
 	} else {
 		resp = &Response{JobID: j.id, Status: j.status}
 	}
+	resp.FnKey = j.p.fnKey
 	// The inline snapshot is what makes a plain poll "anytime": a caller
 	// that never opens the events stream still sees the bounds close in.
 	resp.Progress = j.progress.snapshot()

@@ -25,12 +25,15 @@ package janus
 import (
 	"io"
 	"net"
+	"net/http"
+	"time"
 
 	"github.com/lattice-tools/janus/internal/baselines"
 	"github.com/lattice-tools/janus/internal/bounds"
 	"github.com/lattice-tools/janus/internal/core"
 	"github.com/lattice-tools/janus/internal/cube"
 	"github.com/lattice-tools/janus/internal/encode"
+	"github.com/lattice-tools/janus/internal/front"
 	"github.com/lattice-tools/janus/internal/lattice"
 	"github.com/lattice-tools/janus/internal/memo"
 	"github.com/lattice-tools/janus/internal/minimize"
@@ -125,6 +128,20 @@ type (
 	ProgressEventJSON = service.ProgressEventJSON
 	// ProgressSnapshot is the rolled-up progress inlined in job polls.
 	ProgressSnapshot = service.ProgressJSON
+	// ClientOption configures a Client at construction (timeout,
+	// transport).
+	ClientOption = service.ClientOption
+	// CacheEntry is the peer cache-fill wire form served by janusd's
+	// GET /v1/cache/{fnKey}.
+	CacheEntry = service.CacheEntry
+	// Front is the janusfront sharding tier: a rendezvous-hash router
+	// over N janusd backends with health-aware membership, failover, and
+	// peer cache fill on reshard.
+	Front = front.Front
+	// FrontConfig sizes a Front (backends, health poll, retry policy).
+	FrontConfig = front.Config
+	// FrontStats is the front's merged /v1/stats body.
+	FrontStats = front.Stats
 )
 
 // NewProgressWriter returns a line-per-event progress sink writing to w.
@@ -134,8 +151,24 @@ func NewProgressWriter(w io.Writer) *ProgressWriter { return obsv.NewProgressWri
 // serve its Handler and stop it with Shutdown.
 func NewServer(cfg ServiceConfig) (*Server, error) { return service.NewServer(cfg) }
 
-// NewClient returns a janusd API client for the daemon at baseURL.
-func NewClient(baseURL string) *Client { return service.NewClient(baseURL) }
+// NewClient returns a janusd API client for the daemon at baseURL. The
+// zero-option client shares one keep-alive transport per process; see
+// WithClientTimeout for bounded control-plane calls.
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	return service.NewClient(baseURL, opts...)
+}
+
+// WithClientTimeout bounds every request of a NewClient while sharing
+// the process transport. For health polls and cache lookups — not for
+// Synthesize, whose waits are bounded server-side.
+func WithClientTimeout(d time.Duration) ClientOption { return service.WithTimeout(d) }
+
+// WithClientHTTP substitutes the client's whole *http.Client.
+func WithClientHTTP(hc *http.Client) ClientOption { return service.WithHTTPClient(hc) }
+
+// NewFront builds the sharding front tier and starts its health poller;
+// serve its Handler and stop it with Close.
+func NewFront(cfg FrontConfig) (*Front, error) { return front.New(cfg) }
 
 // NewTracer starts a JSONL span tracer writing to w. The caller owns w;
 // check Err after the run for deferred write failures.

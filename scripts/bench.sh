@@ -41,6 +41,13 @@
 # (async submit + progress-event follow against a cold cache): time from
 # submission to first verified mapping, p50/p99, plus the event volume
 # and how many answers degraded to partial.
+#
+# A "front_shard" block measures the janusfront sharding tier: the
+# latency cost of proxying through a single-backend front vs hitting the
+# daemon directly (direct/front1 p50/p99 — the front should cost
+# low-single-digit ms), and a 3-backend front's cold-vs-warm composition
+# (the warm re-run must be nearly all cache hits, which is exactly the
+# shard-affinity property: same function -> same backend -> warm cache).
 set -eu
 
 out=${1:-BENCH_janus.json}
@@ -49,8 +56,10 @@ cd "$(dirname "$0")/.."
 raw=$(mktemp)
 svcdir=$(mktemp -d)
 svcpid=""
+frontpids=""
 cleanup() {
     [ -n "$svcpid" ] && kill "$svcpid" 2>/dev/null || true
+    for p in $frontpids; do kill "$p" 2>/dev/null || true; done
     rm -rf "$raw" "$svcdir"
 }
 trap cleanup EXIT
@@ -158,6 +167,62 @@ svcpid=""
 merged=$(mktemp)
 awk -v svc="$svcjson" -v any="$anytime" '
 /^}$/ { print "  ,"; print "  \"service_load\": " svc ","; print "  \"anytime\": " any; print "}"; next }
+{ print }
+' "$out" > "$merged" && mv "$merged" "$out"
+
+# Front tier: proxy overhead (1 backend, direct vs through the front)
+# and shard-affinity hit rate (3 backends, cold then warm).
+go build -o "$svcdir" ./cmd/janusfront
+"$svcdir/janusd" -addr localhost:7164 -cache-dir "$svcdir/b1" -workers 2 &
+frontpids="$frontpids $!"
+"$svcdir/janusd" -addr localhost:7165 -cache-dir "$svcdir/b2" -workers 2 &
+frontpids="$frontpids $!"
+"$svcdir/janusd" -addr localhost:7166 -cache-dir "$svcdir/b3" -workers 2 &
+frontpids="$frontpids $!"
+"$svcdir/janusfront" -addr localhost:7171 -backends http://localhost:7164 &
+frontpids="$frontpids $!"
+"$svcdir/janusfront" -addr localhost:7172 \
+    -backends http://localhost:7164,http://localhost:7165,http://localhost:7166 &
+frontpids="$frontpids $!"
+sleep 1
+
+# Warm the single backend directly, then measure warm p50 both ways —
+# the delta is the front's own cost, not synthesis noise.
+"$svcdir/janusload" -addr http://localhost:7164 \
+    -n 32 -c 4 -distinct 4 -seed 11 -timeout-ms 60000 -json > /dev/null
+directjson=$("$svcdir/janusload" -addr http://localhost:7164 \
+    -n 32 -c 4 -distinct 4 -seed 11 -timeout-ms 60000 -json)
+front1json=$("$svcdir/janusload" -addr http://localhost:7171 \
+    -n 32 -c 4 -distinct 4 -seed 11 -timeout-ms 60000 -json)
+
+# 3-backend front: cold sweep over 8 distinct functions, then the warm
+# re-run — shard affinity makes the repeat nearly all cache hits.
+front3cold=$("$svcdir/janusload" -addr http://localhost:7172 \
+    -n 32 -c 8 -distinct 8 -seed 23 -timeout-ms 60000 -json)
+front3warm=$("$svcdir/janusload" -addr http://localhost:7172 \
+    -n 32 -c 8 -distinct 8 -seed 23 -timeout-ms 60000 -json)
+frontstats=$(python3 -c 'import json,urllib.request
+st = json.load(urllib.request.urlopen("http://localhost:7172/v1/stats"))
+print(json.dumps(st["front"]))')
+for p in $frontpids; do kill "$p" 2>/dev/null || true; done
+for p in $frontpids; do wait "$p" 2>/dev/null || true; done
+frontpids=""
+
+merged=$(mktemp)
+awk -v d="$directjson" -v f1="$front1json" -v c3="$front3cold" -v w3="$front3warm" -v fs="$frontstats" '
+/^}$/ {
+    print "  ,"
+    print "  \"front_shard\": {"
+    print "    \"comment\": \"janusfront tier: warm p50 direct vs through a 1-backend front (proxy overhead), and a 3-backend front cold/warm (shard-affinity hit rate); front block is the 3-backend front routing counters\","
+    print "    \"direct\": " d ","
+    print "    \"front1\": " f1 ","
+    print "    \"front3_cold\": " c3 ","
+    print "    \"front3_warm\": " w3 ","
+    print "    \"front\": " fs
+    print "  }"
+    print "}"
+    next
+}
 { print }
 ' "$out" > "$merged" && mv "$merged" "$out"
 
