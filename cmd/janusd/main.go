@@ -12,6 +12,7 @@
 //	       [-trace-jobs N] [-trace-spans N] [-flight-entries N]
 //	       [-flight-slow-ms N] [-slo-synth-ms N] [-slo-jobs-ms N]
 //	       [-slo-target F] [-progress-events N] [-slo-first-mapping-ms N]
+//	       [-peers URL,URL,...]
 //
 // API:
 //
@@ -79,6 +80,7 @@ func main() {
 		sloTarget  = flag.Float64("slo-target", 0.99, "fraction of requests that must meet their objective")
 		progEvents = flag.Int("progress-events", 512, "progress events kept per job for /v1/jobs/{id}/events (0 disables progress)")
 		sloFirstMs = flag.Int64("slo-first-mapping-ms", 10000, "anytime objective: enqueue to first verified mapping")
+		peers      = flag.String("peers", "", "comma-separated janusd base URLs allowed as peer cache-fill sources (empty disables X-Janus-Fill-From)")
 	)
 	flag.Parse()
 
@@ -100,6 +102,7 @@ func main() {
 		SLOTarget:       *sloTarget,
 		ProgressEvents:  offIfZero(*progEvents),
 		FirstMappingSLO: time.Duration(*sloFirstMs) * time.Millisecond,
+		Peers:           splitList(*peers),
 		Logger:          log,
 	})
 	if err != nil {
@@ -181,6 +184,17 @@ func parseLevel(s string) slog.Level {
 	default:
 		return slog.LevelInfo
 	}
+}
+
+// splitList parses a comma-separated flag into its non-empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 func offIfZero(v int) int {

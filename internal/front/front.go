@@ -83,11 +83,11 @@ type backendState struct {
 
 	mu         sync.Mutex
 	healthy    bool
-	fails      int   // consecutive probe failures
-	flips      int   // membership transitions (for stats)
-	queueDepth int   // from the last good probe
-	queueCap   int   //
-	draining   bool  //
+	fails      int  // consecutive probe failures
+	flips      int  // membership transitions (for stats)
+	queueDepth int  // from the last good probe
+	queueCap   int  //
+	draining   bool //
 	lastErr    string
 }
 

@@ -1,8 +1,10 @@
 package front
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -44,6 +46,11 @@ func startFront(t *testing.T, backends ...*testBackend) (*Front, *service.Client
 	urls := make([]string, len(backends))
 	for i, b := range backends {
 		urls[i] = b.ts.URL
+	}
+	// Peer cache fill only follows hints into the configured allowlist,
+	// so each backend gets the fleet list — as -peers would in prod.
+	for _, b := range backends {
+		b.srv.SetPeers(urls...)
 	}
 	f, err := New(Config{Backends: urls, HealthInterval: time.Hour})
 	if err != nil {
@@ -193,6 +200,110 @@ func TestFrontPeerFill(t *testing.T) {
 		t.Fatal("fill hint not counted")
 	}
 	_ = id2
+}
+
+// TestFrontOversizeResponse: a backend response over the proxy's
+// buffer bound must surface as a 502, never as a silently truncated
+// body relayed under the backend's 2xx status.
+func TestFrontOversizeResponse(t *testing.T) {
+	huge := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/synthesize" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		chunk := bytes.Repeat([]byte{'x'}, 64<<10)
+		for written := 0; written <= maxProxyRespBody; written += len(chunk) {
+			if _, err := w.Write(chunk); err != nil {
+				return
+			}
+		}
+	}))
+	defer huge.Close()
+
+	f, err := New(Config{Backends: []string{huge.URL}, HealthInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	fts := httptest.NewServer(f.Handler())
+	t.Cleanup(fts.Close)
+
+	_, err = service.NewClient(fts.URL).Synthesize(context.Background(),
+		service.Request{PLA: pla(1), TimeoutMS: 60_000})
+	var apiErr *service.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusBadGateway {
+		t.Fatalf("oversize backend body: err = %v, want a 502", err)
+	}
+}
+
+// TestFrontPostSendFailurePolicy: once a request may have reached a
+// backend, an async forward must NOT fail over (the re-send would start
+// a duplicate long-running job whose id the client never learns) — it
+// answers 502. A sync forward still fails over: the client gets exactly
+// one answer either way.
+func TestFrontPostSendFailurePolicy(t *testing.T) {
+	// A backend that accepts the request and then kills the connection —
+	// the "delivered but no response" failure mode, as opposed to a
+	// dial-level connection refusal.
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/synthesize" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err == nil {
+			conn.Close()
+		}
+	}))
+	defer broken.Close()
+	good := startBackend(t, "")
+
+	f, err := New(Config{Backends: []string{broken.URL, good.ts.URL}, HealthInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	fts := httptest.NewServer(f.Handler())
+	t.Cleanup(fts.Close)
+	c := service.NewClient(fts.URL)
+
+	brokenID, _ := BackendID(broken.URL)
+	var req service.Request
+	found := false
+	for i := 0; i < 64; i++ {
+		req = service.Request{PLA: pla(i), TimeoutMS: 60_000}
+		if ownerOf(t, f, req) == brokenID {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no sampled function owned by the broken backend")
+	}
+
+	async := req
+	async.Async = true
+	_, err = c.Synthesize(context.Background(), async)
+	var apiErr *service.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusBadGateway {
+		t.Fatalf("async post-send failure: err = %v, want a 502", err)
+	}
+	if n := f.nFailovers.Load(); n != 0 {
+		t.Fatalf("async post-send failure failed over %d times; duplicate job risk", n)
+	}
+
+	resp, err := c.Synthesize(context.Background(), req)
+	if err != nil {
+		t.Fatalf("sync request must fail over to the survivor: %v", err)
+	}
+	if resp.Status != service.StatusDone {
+		t.Fatalf("failover answer status = %s, want done", resp.Status)
+	}
+	if f.nFailovers.Load() == 0 {
+		t.Fatal("sync failover not counted")
+	}
 }
 
 // TestFrontJobRouting: async job ids embed the owning shard, and polls,

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -16,9 +18,16 @@ import (
 	"github.com/lattice-tools/janus/internal/service"
 )
 
-// maxProxyBody bounds request and buffered response bodies. Responses
-// carry rendered lattices, so the bound is looser than the request one.
-const maxProxyBody = 4 << 20
+// maxProxyReqBody bounds inbound request payloads (the same bound
+// janusd itself applies); maxProxyRespBody bounds buffered backend
+// responses, which carry rendered lattices and so get a looser limit.
+// A response over its bound is a proxy error — relaying a silently
+// truncated body with the backend's 2xx status would hand the client
+// corrupt JSON.
+const (
+	maxProxyReqBody  = 1 << 20
+	maxProxyRespBody = 4 << 20
+)
 
 // jobIDSep joins the owning shard's ID and the backend-local job id in
 // client-visible job ids ("localhost:7151~jab12cd-4"), so every poll,
@@ -37,6 +46,31 @@ var proxyHTTP = &http.Client{
 		MaxIdleConnsPerHost: 64,
 		IdleConnTimeout:     90 * time.Second,
 	},
+}
+
+// errBodyTooLarge marks a backend response over maxProxyRespBody.
+var errBodyTooLarge = fmt.Errorf("front: backend response exceeds %d bytes", maxProxyRespBody)
+
+// readProxyBody buffers a backend response body, failing loudly when it
+// exceeds the bound instead of truncating it.
+func readProxyBody(body io.Reader) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(body, maxProxyRespBody+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > maxProxyRespBody {
+		return nil, errBodyTooLarge
+	}
+	return data, nil
+}
+
+// isDialError reports whether a round-trip error happened while
+// establishing the connection — before any bytes could have reached the
+// backend — which is the only failure mode where failing over to
+// another backend cannot duplicate work already started.
+func isDialError(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
 }
 
 // Handler returns the front tier's HTTP API — the same surface janusd
@@ -126,7 +160,7 @@ func (f *Front) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	f.nRouted.Add(1)
 	mRequests.Inc()
 	var req service.Request
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxProxyBody))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxProxyReqBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error(), reqID)
@@ -171,7 +205,7 @@ func (f *Front) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		if hasPrev && prev.ID != b.ID && live[prev.ID] {
 			fill = prev.URL
 		}
-		done, err := f.forwardSynthesize(r.Context(), w, b, body, reqID, fill)
+		done, err := f.forwardSynthesize(r.Context(), w, b, body, reqID, fill, req.Async)
 		if done {
 			return
 		}
@@ -186,7 +220,17 @@ func (f *Front) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 // its Retry-After. It reports done=true when a response (success OR a
 // passthrough error like 400/429) was written; false asks the caller to
 // fail over to the next backend in rank.
-func (f *Front) forwardSynthesize(ctx context.Context, w http.ResponseWriter, b Backend, body []byte, reqID, fill string) (bool, error) {
+//
+// Failover is unconditional only while the connection is being
+// established — the backend saw nothing, so a re-send is free. Once the
+// request may have been delivered, re-sending an async synthesize would
+// start a second long-running job whose id the client never learns, so
+// post-send errors on async requests answer 502 and leave the retry
+// decision to the client. Sync requests still fail over: the abandoned
+// attempt may solve on in the background (its result lands in that
+// backend's cache, so the work is not wasted), and the client gets
+// exactly one answer.
+func (f *Front) forwardSynthesize(ctx context.Context, w http.ResponseWriter, b Backend, body []byte, reqID, fill string, async bool) (bool, error) {
 	var lastErr error
 	for try := 0; ; try++ {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
@@ -204,12 +248,31 @@ func (f *Front) forwardSynthesize(ctx context.Context, w http.ResponseWriter, b 
 		}
 		resp, err := proxyHTTP.Do(req)
 		if err != nil {
-			return false, err
+			if isDialError(err) || !async {
+				return false, err
+			}
+			mProxyErrors.Inc()
+			writeError(w, http.StatusBadGateway,
+				fmt.Sprintf("front: %s failed after accepting the request: %v", b.ID, err), reqID)
+			return true, err
 		}
-		data, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+		data, err := readProxyBody(resp.Body)
 		resp.Body.Close()
 		if err != nil {
-			return false, err
+			if errors.Is(err, errBodyTooLarge) {
+				// Every backend would produce the same over-size answer for
+				// this function; failing over just re-solves it for nothing.
+				mProxyErrors.Inc()
+				writeError(w, http.StatusBadGateway, err.Error(), reqID)
+				return true, err
+			}
+			if !async {
+				return false, err
+			}
+			mProxyErrors.Inc()
+			writeError(w, http.StatusBadGateway,
+				fmt.Sprintf("front: %s failed after accepting the request: %v", b.ID, err), reqID)
+			return true, err
 		}
 		switch {
 		case resp.StatusCode == http.StatusTooManyRequests && try < f.cfg.Retry429:
@@ -314,7 +377,7 @@ func (f *Front) proxyGet(w http.ResponseWriter, r *http.Request, b Backend, path
 		return
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	data, err := readProxyBody(resp.Body)
 	if err != nil {
 		mProxyErrors.Inc()
 		writeError(w, http.StatusBadGateway, err.Error(), reqID)
@@ -366,7 +429,7 @@ func (f *Front) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 
 	if r.URL.Query().Has("wait") {
 		// Long-poll: one buffered JSON page.
-		data, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+		data, err := readProxyBody(resp.Body)
 		if err != nil {
 			mProxyErrors.Inc()
 			writeError(w, http.StatusBadGateway, err.Error(), reqID)

@@ -40,46 +40,62 @@ type Backend struct {
 	URL string
 }
 
+// prevAliveSets bounds the membership history kept for prevOwner. One
+// previous alive-set would only cover a single membership change:
+// during overlapping changes (a rolling restart flipping two backends
+// across consecutive epochs) the one-back owner of a key can be a
+// backend that never held it, wasting the warm-up probe. A few epochs
+// of history let prevOwner walk back to the most recent *distinct*
+// owner instead.
+const prevAliveSets = 8
+
 // shardMap is the health-aware rendezvous hash over the configured
-// backends. It keeps the previous alive-set across the latest
-// membership change, so the router can name the previous owner of a
-// key — the peer a resharded key's new owner should fill from.
+// backends. It keeps the last few alive-sets across membership changes,
+// so the router can name the previous owner of a key — the peer a
+// resharded key's new owner should fill from.
 type shardMap struct {
 	mu      sync.Mutex
 	members []Backend
-	alive   map[string]bool // by Backend.ID
-	prev    map[string]bool // alive-set before the last change
-	epoch   uint64          // bumped on every membership change
+	alive   map[string]bool   // by Backend.ID
+	prevs   []map[string]bool // alive-sets before recent changes, newest first
+	epoch   uint64            // bumped on every membership change
 }
 
 func newShardMap(members []Backend) *shardMap {
 	m := &shardMap{
 		members: append([]Backend(nil), members...),
 		alive:   make(map[string]bool, len(members)),
-		prev:    make(map[string]bool, len(members)),
 	}
 	// Start optimistic: every configured backend is routable until the
 	// health poller says otherwise, so a cold front does not 503 its
 	// first requests while the first poll round is in flight.
 	for _, b := range members {
 		m.alive[b.ID] = true
-		m.prev[b.ID] = true
 	}
+	m.prevs = []map[string]bool{copyAlive(m.alive)}
 	return m
 }
 
+func copyAlive(set map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(set))
+	for k, v := range set {
+		out[k] = v
+	}
+	return out
+}
+
 // setAlive updates one backend's membership, returning whether the map
-// changed (and, if so, bumping the epoch and rotating the previous
-// alive-set).
+// changed (and, if so, bumping the epoch and pushing the outgoing
+// alive-set onto the bounded history).
 func (m *shardMap) setAlive(id string, ok bool) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.alive[id] == ok {
 		return false
 	}
-	m.prev = make(map[string]bool, len(m.alive))
-	for k, v := range m.alive {
-		m.prev[k] = v
+	m.prevs = append([]map[string]bool{copyAlive(m.alive)}, m.prevs...)
+	if len(m.prevs) > prevAliveSets {
+		m.prevs = m.prevs[:prevAliveSets]
 	}
 	m.alive[id] = ok
 	m.epoch++
@@ -105,16 +121,34 @@ func (m *shardMap) rank(key string) []Backend {
 	return rankOver(m.members, m.alive, key)
 }
 
-// prevOwner returns the owner of key under the alive-set that preceded
-// the last membership change (false when the previous set was empty).
+// prevOwner returns the most recent previous owner of key that differs
+// from its current owner, walking the bounded alive-set history newest
+// first — the peer whose cache is plausibly warm after a reshard. When
+// every remembered epoch agrees with the present (no reshard for this
+// key within the history window), the current owner is returned and the
+// caller's prev != target check suppresses the hint.
 func (m *shardMap) prevOwner(key string) (Backend, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	r := rankOver(m.members, m.prev, key)
-	if len(r) == 0 {
-		return Backend{}, false
+	var cur string
+	if r := rankOver(m.members, m.alive, key); len(r) > 0 {
+		cur = r[0].ID
 	}
-	return r[0], true
+	var newest Backend
+	found := false
+	for _, set := range m.prevs {
+		r := rankOver(m.members, set, key)
+		if len(r) == 0 {
+			continue
+		}
+		if !found {
+			newest, found = r[0], true
+		}
+		if r[0].ID != cur {
+			return r[0], true
+		}
+	}
+	return newest, found
 }
 
 // rankOver orders the live members of set by rendezvous weight for key,

@@ -211,3 +211,56 @@ func TestShardMapEpochAndPrev(t *testing.T) {
 		t.Fatalf("prevOwner after recovery should be the interim owner, got %s", prev.ID)
 	}
 }
+
+// TestShardMapPrevOwnerHistory is the rolling-restart case: a backend
+// flaps (its keys detour through an interim owner, who warms them), and
+// then an UNRELATED backend flaps before the key is next requested. A
+// single-change memory would forget the interim owner — the fill hint
+// degrades to a wasted probe plus a full re-solve — so prevOwner walks
+// the bounded alive-set history to the most recent distinct owner.
+func TestShardMapPrevOwnerHistory(t *testing.T) {
+	bs := mkBackends(3)
+	m := newShardMap(bs)
+
+	var key string
+	for _, k := range mkKeys(200) {
+		if m.rank(k)[0].ID == bs[0].ID {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key owned by backend 0 in sample")
+	}
+
+	// Flap the owner; whoever held the key meanwhile is the warm peer.
+	m.setAlive(bs[0].ID, false)
+	interim := m.rank(key)[0]
+	m.setAlive(bs[0].ID, true)
+
+	// The unrelated flip must involve neither the owner nor the interim
+	// peer, so the key's ownership never changes during it.
+	var other Backend
+	for _, b := range bs {
+		if b.ID != bs[0].ID && b.ID != interim.ID {
+			other = b
+		}
+	}
+	m.setAlive(other.ID, false)
+	m.setAlive(other.ID, true)
+
+	prev, ok := m.prevOwner(key)
+	if !ok || prev.ID != interim.ID {
+		t.Fatalf("prevOwner = %s,%v after overlapping changes, want interim owner %s",
+			prev.ID, ok, interim.ID)
+	}
+
+	// And when the whole history agrees with the present, the returned
+	// owner is the current one — which the router's prev != target check
+	// turns into "no hint".
+	fresh := newShardMap(bs)
+	p2, ok := fresh.prevOwner(key)
+	if !ok || p2.ID != bs[0].ID {
+		t.Fatalf("quiescent prevOwner = %s,%v, want current owner %s", p2.ID, ok, bs[0].ID)
+	}
+}

@@ -147,12 +147,12 @@ func TestNilTracerZeroCost(t *testing.T) {
 
 func TestValidateTraceRejects(t *testing.T) {
 	cases := map[string]string{
-		"empty":          "",
-		"not json":       "nope\n",
-		"missing name":   `{"id":1,"start":"2026-01-01T00:00:00Z","end":"2026-01-01T00:00:00Z","dur_ns":0}` + "\n",
-		"zero id":        `{"span":"S","id":0,"start":"2026-01-01T00:00:00Z","end":"2026-01-01T00:00:00Z","dur_ns":0}` + "\n",
-		"missing parent": `{"span":"S","id":1,"parent":9,"start":"2026-01-01T00:00:00Z","end":"2026-01-01T00:00:00Z","dur_ns":0}` + "\n",
-		"bad duration":   `{"span":"S","id":1,"start":"2026-01-01T00:00:00Z","end":"2026-01-01T00:00:01Z","dur_ns":7}` + "\n",
+		"empty":            "",
+		"not json":         "nope\n",
+		"missing name":     `{"id":1,"start":"2026-01-01T00:00:00Z","end":"2026-01-01T00:00:00Z","dur_ns":0}` + "\n",
+		"zero id":          `{"span":"S","id":0,"start":"2026-01-01T00:00:00Z","end":"2026-01-01T00:00:00Z","dur_ns":0}` + "\n",
+		"missing parent":   `{"span":"S","id":1,"parent":9,"start":"2026-01-01T00:00:00Z","end":"2026-01-01T00:00:00Z","dur_ns":0}` + "\n",
+		"bad duration":     `{"span":"S","id":1,"start":"2026-01-01T00:00:00Z","end":"2026-01-01T00:00:01Z","dur_ns":7}` + "\n",
 		"end before start": `{"span":"S","id":1,"start":"2026-01-01T00:00:01Z","end":"2026-01-01T00:00:00Z","dur_ns":-1000000000}` + "\n",
 		"duplicate id": `{"span":"S","id":1,"start":"2026-01-01T00:00:00Z","end":"2026-01-01T00:00:00Z","dur_ns":0}` + "\n" +
 			`{"span":"T","id":1,"start":"2026-01-01T00:00:00Z","end":"2026-01-01T00:00:00Z","dur_ns":0}` + "\n",

@@ -22,10 +22,10 @@ func TestParseRetryAfter(t *testing.T) {
 		{"1", time.Second},
 		{"120", 2 * time.Minute},
 		{"0", 0},
-		{"-5", 0},                      // negative: malformed, ignore
-		{"1.5", 0},                     // fractional: not RFC 7231
-		{"2m", 0},                      // duration syntax: not RFC 7231
-		{"soon", 0},                    // junk
+		{"-5", 0},   // negative: malformed, ignore
+		{"1.5", 0},  // fractional: not RFC 7231
+		{"2m", 0},   // duration syntax: not RFC 7231
+		{"soon", 0}, // junk
 		{now.Add(30 * time.Second).Format(http.TimeFormat), 30 * time.Second},
 		{now.Add(-time.Minute).Format(http.TimeFormat), 0}, // date in the past
 	}

@@ -34,9 +34,11 @@ var (
 
 	// Peer cache fill (the front tier's reshard warm-up): lookups served
 	// to peers on /v1/cache/{fnKey}, and fills this daemon performed
-	// against a hinted peer on its own misses.
-	mPeerLookups    = obsv.Default.Counter("janus_service_cache_lookups_total")
-	mPeerLookupHits = obsv.Default.Counter("janus_service_cache_lookup_hits")
-	mPeerFillProbes = obsv.Default.Counter("janus_service_peer_fill_probes_total")
-	mPeerFillHits   = obsv.Default.Counter("janus_service_cache_peer_hits")
+	// against a hinted peer on its own misses. The probe/hit/rejected
+	// trio shares the peer_fill prefix so dashboards can correlate them.
+	mPeerLookups      = obsv.Default.Counter("janus_service_cache_lookups_total")
+	mPeerLookupHits   = obsv.Default.Counter("janus_service_cache_lookup_hits_total")
+	mPeerFillProbes   = obsv.Default.Counter("janus_service_peer_fill_probes_total")
+	mPeerFillHits     = obsv.Default.Counter("janus_service_peer_fill_hits_total")
+	mPeerFillRejected = obsv.Default.Counter("janus_service_peer_fill_rejected_total")
 )

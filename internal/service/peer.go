@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"strings"
 	"time"
 )
 
@@ -21,6 +22,14 @@ import (
 // the local request path (exact key, then the budgetHit rules), so a
 // peer never hands out an answer the asking daemon could not have
 // served itself.
+//
+// The hint is untrusted client input: anyone who can POST /v1/synthesize
+// controls the header. A daemon that dereferenced it blindly could be
+// steered into GETs against internal networks (SSRF) and — far worse —
+// would adopt whatever CacheEntry the "peer" returned into both cache
+// tiers, persistently poisoning answers served to every other client.
+// So fills only ever go to URLs on the configured Peers allowlist
+// (janusd -peers); with no allowlist the hint is inert.
 
 // CacheEntry is the GET /v1/cache/{fnKey} wire form: one finished
 // answer plus the budget identity it was computed under, so the
@@ -99,10 +108,40 @@ func (s *Server) CacheLookup(fnKey string, timeoutMS, maxConflicts int64) (*Cach
 	return nil, false
 }
 
+// SetPeers replaces the peer-fill allowlist (normally Config.Peers at
+// construction). URLs are matched exactly after trailing-slash
+// normalization; an empty list disables peer fill.
+func (s *Server) SetPeers(urls ...string) {
+	peers := make(map[string]bool, len(urls))
+	for _, u := range urls {
+		if u = strings.TrimRight(u, "/"); u != "" {
+			peers[u] = true
+		}
+	}
+	s.peersMu.Lock()
+	s.peers = peers
+	s.peersMu.Unlock()
+}
+
+// allowedPeer reports whether a fill hint names a configured peer.
+func (s *Server) allowedPeer(peerURL string) bool {
+	s.peersMu.RLock()
+	defer s.peersMu.RUnlock()
+	return s.peers[strings.TrimRight(peerURL, "/")]
+}
+
 // peerFill asks the hinted peer's cache for a compatible answer and, on
 // a hit, adopts it into the local tiers under the peer's exact key.
 // Every failure mode degrades to "no fill" — the caller synthesizes.
 func (s *Server) peerFill(ctx context.Context, peerURL string, p *parsedRequest) (*outcome, bool) {
+	if !s.allowedPeer(peerURL) {
+		// A hint outside the allowlist is either a misconfigured front or
+		// an attack; either way it must not trigger an outbound request.
+		mPeerFillRejected.Inc()
+		s.log.Warn("peer fill hint rejected: not in -peers allowlist",
+			"peer", peerURL)
+		return nil, false
+	}
 	mPeerFillProbes.Inc()
 	cctx, cancel := context.WithTimeout(ctx, peerFillTimeout)
 	defer cancel()

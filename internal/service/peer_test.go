@@ -111,7 +111,9 @@ func TestPeerFill(t *testing.T) {
 	}
 
 	// The cold daemon, told where the previous owner lives, must fill
-	// rather than solve.
+	// rather than solve. The peer has to be allowlisted first — fill
+	// hints are untrusted input.
+	cold.SetPeers(warmTS.URL)
 	out, err := cold.Synthesize(
 		ContextWithFillFrom(ctx, warmTS.URL),
 		Request{PLA: fig1PLA, TimeoutMS: 1000})
@@ -144,9 +146,9 @@ func TestPeerFill(t *testing.T) {
 // normal local synthesis, never an error.
 func TestPeerFillUnreachablePeer(t *testing.T) {
 	s, ts, calls := peerTestServer(t, false)
-	_ = s
-	c := NewClient(ts.URL)
-	out, err := c.Synthesize(
+	_ = ts
+	s.SetPeers("http://127.0.0.1:1")
+	out, err := s.Synthesize(
 		ContextWithFillFrom(context.Background(), "http://127.0.0.1:1"),
 		Request{PLA: fig1PLA, TimeoutMS: 1000})
 	if err != nil {
@@ -154,6 +156,48 @@ func TestPeerFillUnreachablePeer(t *testing.T) {
 	}
 	if out.Status != StatusDone || out.Cached != "" {
 		t.Fatalf("status=%s cached=%q, want a fresh done answer", out.Status, out.Cached)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("%d syntheses, want 1", calls.Load())
+	}
+}
+
+// TestPeerFillAllowlist: a fill hint naming a URL outside the -peers
+// allowlist must be ignored outright — no outbound request (that would
+// be client-steered SSRF) and no adopted entry (cache poisoning) — and
+// the request degrades to a normal local synthesis. The default
+// allowlist is empty, so a daemon not told about its fleet never fills.
+func TestPeerFillAllowlist(t *testing.T) {
+	var attackerHits atomic.Int32
+	attacker := httptest.NewServer(http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			attackerHits.Add(1)
+			http.NotFound(w, r)
+		}))
+	defer attacker.Close()
+
+	_, ts, calls := peerTestServer(t, false)
+
+	// The hostile hint arrives as a plain header on the public endpoint —
+	// exactly what any client can send.
+	body, _ := json.Marshal(Request{PLA: fig1PLA, TimeoutMS: 1000})
+	hreq, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/synthesize", bytes.NewReader(body))
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-Janus-Fill-From", attacker.URL)
+	hresp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var resp Response
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusDone || resp.Cached != "" {
+		t.Fatalf("status=%s cached=%q, want a fresh local answer", resp.Status, resp.Cached)
+	}
+	if attackerHits.Load() != 0 {
+		t.Fatalf("daemon dereferenced an unlisted fill hint %d times", attackerHits.Load())
 	}
 	if calls.Load() != 1 {
 		t.Fatalf("%d syntheses, want 1", calls.Load())

@@ -87,6 +87,13 @@ type Config struct {
 	// hold its first verified mapping, enqueue to incumbent (default
 	// 10s). Jobs that finish without any mapping count against it.
 	FirstMappingSLO time.Duration
+	// Peers allowlists the daemon base URLs this server may fill its
+	// cache from. The X-Janus-Fill-From hint is untrusted client input —
+	// honoring an arbitrary URL would let any client make the daemon
+	// fetch attacker-controlled cache entries (SSRF plus persistent
+	// cache poisoning) — so a hint naming a URL outside this list is
+	// ignored. Empty disables peer fill entirely.
+	Peers []string
 	// Logger receives JSON access and job lifecycle logs; nil discards.
 	Logger *slog.Logger
 }
@@ -192,6 +199,12 @@ type Server struct {
 	budMu   sync.Mutex
 	budgets map[string][]budgetEntry
 
+	// peers is the normalized Config.Peers allowlist; only these URLs
+	// may be consulted for peer cache fill. Guarded by peersMu so tests
+	// and future dynamic-membership config can swap it.
+	peersMu sync.RWMutex
+	peers   map[string]bool
+
 	wg sync.WaitGroup
 
 	// synth runs one synthesis; tests replace it to count and stall.
@@ -233,6 +246,7 @@ func NewServer(cfg Config) (*Server, error) {
 		budgets:  make(map[string][]budgetEntry),
 		synth:    core.Synthesize,
 	}
+	s.SetPeers(cfg.Peers...)
 	var nonce [4]byte
 	rand.Read(nonce[:]) //nolint:errcheck // crypto/rand never fails on supported platforms
 	s.nonce = hex.EncodeToString(nonce[:])

@@ -173,11 +173,12 @@ awk -v svc="$svcjson" -v any="$anytime" '
 # Front tier: proxy overhead (1 backend, direct vs through the front)
 # and shard-affinity hit rate (3 backends, cold then warm).
 go build -o "$svcdir" ./cmd/janusfront
-"$svcdir/janusd" -addr localhost:7164 -cache-dir "$svcdir/b1" -workers 2 &
+fleetpeers=http://localhost:7164,http://localhost:7165,http://localhost:7166
+"$svcdir/janusd" -addr localhost:7164 -cache-dir "$svcdir/b1" -workers 2 -peers "$fleetpeers" &
 frontpids="$frontpids $!"
-"$svcdir/janusd" -addr localhost:7165 -cache-dir "$svcdir/b2" -workers 2 &
+"$svcdir/janusd" -addr localhost:7165 -cache-dir "$svcdir/b2" -workers 2 -peers "$fleetpeers" &
 frontpids="$frontpids $!"
-"$svcdir/janusd" -addr localhost:7166 -cache-dir "$svcdir/b3" -workers 2 &
+"$svcdir/janusd" -addr localhost:7166 -cache-dir "$svcdir/b3" -workers 2 -peers "$fleetpeers" &
 frontpids="$frontpids $!"
 "$svcdir/janusfront" -addr localhost:7171 -backends http://localhost:7164 &
 frontpids="$frontpids $!"
