@@ -12,11 +12,14 @@
 //	       [-trace-jobs N] [-trace-spans N] [-flight-entries N]
 //	       [-flight-slow-ms N] [-slo-synth-ms N] [-slo-jobs-ms N]
 //	       [-slo-target F] [-progress-events N] [-slo-first-mapping-ms N]
-//	       [-peers URL,URL,...]
+//	       [-peers URL,URL,...] [-tenants SPEC,SPEC,...]
+//	       [-tenant-weight N] [-tenant-queue-share N] [-tenant-inflight N]
+//	       [-batch-reduce-budget N]
 //
 // API:
 //
 //	POST /v1/synthesize         {"pla": ".i 4\n.o 1\n1111 1\n0000 1\n.e"}
+//	POST /v1/synthesize/batch   {"functions": [{"pla": …}, …]} — one lattice via JANUS-MF
 //	GET  /v1/jobs/{id}          poll an async or timed-out job (live progress inline)
 //	GET  /v1/jobs/{id}/events   stream progress events (SSE; ?wait= long-polls)
 //	GET  /v1/jobs/{id}/trace    a finished job's span trace (JSONL)
@@ -48,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -81,10 +85,20 @@ func main() {
 		progEvents = flag.Int("progress-events", 512, "progress events kept per job for /v1/jobs/{id}/events (0 disables progress)")
 		sloFirstMs = flag.Int64("slo-first-mapping-ms", 10000, "anytime objective: enqueue to first verified mapping")
 		peers      = flag.String("peers", "", "comma-separated janusd base URLs allowed as peer cache-fill sources (empty disables X-Janus-Fill-From)")
+		tenants    = flag.String("tenants", "", "per-tenant scheduling config: name:weight[:queueshare[:inflight]],... (X-Janus-Tenant header selects the tenant)")
+		tenWeight  = flag.Int("tenant-weight", 1, "default DRR weight for tenants not named in -tenants")
+		tenShare   = flag.Int("tenant-queue-share", 0, "default per-tenant queue share (0 = the global -queue)")
+		tenFlight  = flag.Int("tenant-inflight", 0, "default per-tenant in-flight cap (0 = unlimited)")
+		batchRB    = flag.Int("batch-reduce-budget", 8, "LM solves the batch row-reduction phase may spend (0 = unlimited)")
 	)
 	flag.Parse()
 
 	log := obsv.NewLogger(os.Stderr, parseLevel(*logLevel))
+
+	tenantCfg, err := parseTenants(*tenants)
+	if err != nil {
+		fatal(err)
+	}
 
 	// Flag zero means "off" for the bounded-retention knobs; the config
 	// encodes off as negative (its own zero means "default").
@@ -103,7 +117,12 @@ func main() {
 		ProgressEvents:  offIfZero(*progEvents),
 		FirstMappingSLO: time.Duration(*sloFirstMs) * time.Millisecond,
 		Peers:           splitList(*peers),
-		Logger:          log,
+		Tenants:         tenantCfg,
+		TenantDefaults: janus.TenantConfig{
+			Weight: *tenWeight, QueueShare: *tenShare, MaxInFlight: *tenFlight,
+		},
+		BatchReduceBudget: offIfZero(*batchRB),
+		Logger:            log,
 	})
 	if err != nil {
 		fatal(err)
@@ -184,6 +203,44 @@ func parseLevel(s string) slog.Level {
 	default:
 		return slog.LevelInfo
 	}
+}
+
+// parseTenants reads the -tenants flag: comma-separated
+// name:weight[:queueshare[:inflight]] specs, zero/omitted fields meaning
+// "the default". ("bulk:1:8,interactive:4" gives interactive 4× the
+// dispatch weight and caps bulk's backlog at 8 queued jobs.)
+func parseTenants(s string) (map[string]janus.TenantConfig, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := make(map[string]janus.TenantConfig)
+	for _, spec := range splitList(s) {
+		parts := strings.Split(spec, ":")
+		name := strings.TrimSpace(parts[0])
+		if name == "" {
+			return nil, fmt.Errorf("-tenants: empty tenant name in %q", spec)
+		}
+		var cfg janus.TenantConfig
+		for i, p := range parts[1:] {
+			if i > 2 {
+				return nil, fmt.Errorf("-tenants: too many fields in %q", spec)
+			}
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("-tenants: bad value %q in %q", p, spec)
+			}
+			switch i {
+			case 0:
+				cfg.Weight = v
+			case 1:
+				cfg.QueueShare = v
+			case 2:
+				cfg.MaxInFlight = v
+			}
+		}
+		out[name] = cfg
+	}
+	return out, nil
 }
 
 // splitList parses a comma-separated flag into its non-empty elements.

@@ -7,11 +7,24 @@
 //	janusload [-addr http://localhost:7151] [-targets URL,URL,...]
 //	          [-n 64] [-c 8] [-distinct 4] [-inputs 4] [-seed 1]
 //	          [-timeout-ms 60000] [-stream] [-json]
+//	          [-tenant NAME] [-tenants A,B,...] [-batch]
 //
 // -targets spreads the run round-robin across several endpoints (e.g.
 // a janusfront plus direct backends, or several fronts); it overrides
 // -addr. Answers a daemon filled from a peer's cache are counted in the
 // report's cached_peer column.
+//
+// -tenant stamps every request with one tenant name; -tenants cycles
+// requests across several, reporting per-tenant completion counts plus
+// the daemon's scheduler fairness block — the tool for eyeballing (or CI
+// asserting) that completed work tracks the configured weights.
+//
+// -batch measures the JANUS-MF batching win: it first submits the
+// -distinct functions independently (summing their lm_solved), then the
+// same functions as one POST /v1/synthesize/batch, and reports both
+// counts in a batch_tenancy block. Independent-first ordering matters —
+// a finished batch unpacks per-function cache entries that would
+// otherwise serve the independent phase for free.
 //
 // The workload cycles -n requests through -distinct deterministic random
 // functions, so the expected pattern under a warm daemon is a handful of
@@ -64,6 +77,27 @@ type report struct {
 	SLOs []janus.SLOSnapshot `json:"slos,omitempty"`
 	// Anytime is the -stream measurement block (nil without -stream).
 	Anytime *anytimeReport `json:"anytime,omitempty"`
+	// CompletedByTenant counts this run's successful answers per tenant
+	// (client-side view; only with -tenants).
+	CompletedByTenant map[string]int `json:"completed_by_tenant,omitempty"`
+	// Scheduler echoes the daemon's fairness block after the run (only
+	// with -tenant/-tenants).
+	Scheduler *janus.SchedulerStats `json:"scheduler,omitempty"`
+	// BatchTenancy is the -batch measurement block.
+	BatchTenancy *batchReport `json:"batch_tenancy,omitempty"`
+}
+
+// batchReport compares one batch synthesis against the same functions
+// submitted independently. The batching win the paper's multi-function
+// method promises shows as batch_lm_solved < independent_lm_solved.
+type batchReport struct {
+	Functions           int    `json:"functions"`
+	IndependentLMSolved int    `json:"independent_lm_solved"`
+	BatchLMSolved       int    `json:"batch_lm_solved"`
+	IndependentSize     int    `json:"independent_size"`
+	BatchSol            string `json:"batch_sol"`
+	BatchSize           int    `json:"batch_size"`
+	Reduced             bool   `json:"reduced"`
 }
 
 // anytimeReport measures the anytime path: how fast jobs held their
@@ -89,6 +123,9 @@ func main() {
 		timeoutMS = flag.Int64("timeout-ms", 60_000, "per-request budget")
 		stream    = flag.Bool("stream", false, "submit async and follow each job's progress stream, measuring time to first mapping")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+		tenant    = flag.String("tenant", "", "stamp every request with this tenant name (X-Janus-Tenant)")
+		tenantsF  = flag.String("tenants", "", "comma-separated tenant names cycled across requests (overrides -tenant)")
+		batch     = flag.Bool("batch", false, "measure the batching win: the -distinct functions independently, then as one batch")
 	)
 	flag.Parse()
 	if *distinct < 1 {
@@ -111,6 +148,22 @@ func main() {
 	if len(clients) == 0 {
 		clients = []*janus.Client{janus.NewClient(*addr)}
 	}
+
+	if *batch {
+		runBatchMode(clients[0], plas, *timeoutMS, *jsonOut)
+		return
+	}
+
+	var tenantNames []string
+	for _, t := range strings.Split(*tenantsF, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			tenantNames = append(tenantNames, t)
+		}
+	}
+	if len(tenantNames) == 0 && *tenant != "" {
+		tenantNames = []string{*tenant}
+	}
+
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
@@ -131,6 +184,15 @@ func main() {
 					return
 				}
 				client := clients[i%len(clients)]
+				tname := ""
+				if len(tenantNames) > 0 {
+					// A shallow copy per request shares the keep-alive
+					// transport; only the tenant header differs.
+					tname = tenantNames[i%len(tenantNames)]
+					cc := *client
+					cc.Tenant = tname
+					client = &cc
+				}
 				req := janus.ServiceRequest{PLA: plas[i%len(plas)], TimeoutMS: *timeoutMS}
 				req.Async = *stream
 				t0 := time.Now()
@@ -160,6 +222,12 @@ func main() {
 					}
 				} else {
 					latencies = append(latencies, lat)
+					if tname != "" {
+						if rep.CompletedByTenant == nil {
+							rep.CompletedByTenant = make(map[string]int)
+						}
+						rep.CompletedByTenant[tname]++
+					}
 					switch resp.Cached {
 					case "mem":
 						rep.MemHits++
@@ -202,6 +270,9 @@ func main() {
 	// its backends, so that is usually the full picture.)
 	if st, err := clients[0].ServerStats(context.Background()); err == nil {
 		rep.SLOs = st.SLOs
+		if len(tenantNames) > 0 {
+			rep.Scheduler = st.Scheduler
+		}
 	}
 
 	if *jsonOut {
@@ -221,6 +292,22 @@ func main() {
 				rep.Anytime.Streamed, rep.Anytime.FirstMappingP50MS,
 				rep.Anytime.FirstMappingP99MS, rep.Anytime.EventsTotal, rep.Anytime.Partials)
 		}
+		if len(rep.CompletedByTenant) > 0 {
+			names := make([]string, 0, len(rep.CompletedByTenant))
+			for name := range rep.CompletedByTenant {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				fmt.Printf("tenant %s: %d completed\n", name, rep.CompletedByTenant[name])
+			}
+		}
+		if rep.Scheduler != nil {
+			for _, ts := range rep.Scheduler.Tenants {
+				fmt.Printf("scheduler %s: weight=%d admitted=%d dispatched=%d completed=%d shed=%d\n",
+					ts.Name, ts.Weight, ts.Admitted, ts.Dispatched, ts.Completed, ts.Shed)
+			}
+		}
 		for _, slo := range rep.SLOs {
 			fmt.Printf("slo %s: %d/%d good (target %.0f%%, %.0fms objective), burn 5m=%.2f 1h=%.2f\n",
 				slo.Name, slo.Good, slo.Total, slo.Target*100,
@@ -236,6 +323,61 @@ func main() {
 	if rep.Errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// runBatchMode measures the batching win on a (preferably fresh) daemon:
+// every function independently first, then the same set as one batch.
+// Ordering matters: a finished batch unpacks its converged per-output
+// answers into the single-function cache, so batch-first would hand the
+// independent phase free cache hits and wreck the comparison. Solve
+// counts are deterministic for a given function set, so the sequential
+// comparison is fair.
+func runBatchMode(c *janus.Client, plas []string, timeoutMS int64, jsonOut bool) {
+	br := &batchReport{Functions: len(plas)}
+	for i, p := range plas {
+		resp, _, _, err := submitWithRetry(c, janus.ServiceRequest{PLA: p, TimeoutMS: timeoutMS})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "janusload: independent function %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		if resp.Status != "done" || resp.Result == nil {
+			fmt.Fprintf(os.Stderr, "janusload: independent function %d: status %s: %s\n", i, resp.Status, resp.Error)
+			os.Exit(1)
+		}
+		br.IndependentLMSolved += resp.Result.LMSolved
+		br.IndependentSize += resp.Result.Size
+	}
+
+	fns := make([]janus.ServiceBatchFunction, len(plas))
+	for i, p := range plas {
+		fns[i] = janus.ServiceBatchFunction{PLA: p}
+	}
+	resp, err := c.SynthesizeBatch(context.Background(),
+		janus.ServiceBatchRequest{Functions: fns, TimeoutMS: timeoutMS})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "janusload: batch:", err)
+		os.Exit(1)
+	}
+	if resp.Status != "done" || resp.Batch == nil {
+		fmt.Fprintf(os.Stderr, "janusload: batch: status %s: %s\n", resp.Status, resp.Error)
+		os.Exit(1)
+	}
+	br.BatchLMSolved = resp.Batch.LMSolved
+	br.BatchSol = resp.Batch.Sol
+	br.BatchSize = resp.Batch.Size
+	br.Reduced = resp.Batch.Reduced
+
+	rep := report{Requests: len(plas) + 1, BatchTenancy: br}
+	if jsonOut {
+		if err := json.NewEncoder(os.Stdout).Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "janusload:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("batch: %d functions, independent lm_solved=%d (total size %d), batch lm_solved=%d (sol %s, size %d, reduced=%v)\n",
+		br.Functions, br.IndependentLMSolved, br.IndependentSize,
+		br.BatchLMSolved, br.BatchSol, br.BatchSize, br.Reduced)
 }
 
 // submitWithRetry retries backpressure answers (429) with the server's

@@ -45,6 +45,13 @@ type Options struct {
 	// DSMinProducts is the smallest product count for which DS runs
 	// (default 4).
 	DSMinProducts int
+	// MFReduceBudget caps the LM solves SynthesizeMulti's shared
+	// row-reduction phase may spend (0 = unlimited). The reduction is
+	// opportunistic: when the budget runs out the best packing found so
+	// far is kept. The service batch path sets this so a batch never
+	// spends more solves shrinking the shared lattice than it saved by
+	// skipping the per-output DS bounds.
+	MFReduceBudget int
 	// Workers solves the candidate lattices of each search midpoint
 	// concurrently (the paper's machine ran 28 cores). Values below 2 keep
 	// the search sequential. The result is deterministic: among the

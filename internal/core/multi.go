@@ -124,6 +124,11 @@ func SynthesizeMulti(fns []cube.Cover, opt Options, reduce bool) (*MultiResult, 
 		if err != nil {
 			return nil, err
 		}
+		if r.Assignment == nil {
+			// Canceled (or deadline-expired) before this output's bounds
+			// phase produced a mapping: there is nothing to pack.
+			return nil, errors.New("core: canceled before a mapping was found")
+		}
 		mr.Parts = append(mr.Parts, r)
 		st.noteResult(r)
 		parts = append(parts, &part{isop: r.ISOP, dual: r.DualISOP, sol: r.Assignment})
@@ -177,17 +182,28 @@ func packMulti(parts []*part, targets []cube.Cover) *MultiLattice {
 }
 
 // reduceMultiRows lowers the overall row count as in reduceRows but
-// returns the updated parts (so region metadata can be rebuilt).
+// returns the updated parts (so region metadata can be rebuilt). With
+// Options.MFReduceBudget > 0 the exploration stops once that many LM
+// solves have been spent on it — the reduction is opportunistic, so the
+// best packing found within the budget is kept.
 func reduceMultiRows(parts []*part, opt Options, st *lmStats) []*part {
 	cur := parts
 	bcRows, bcCols := packedSize(cur)
 	bc := bcRows * bcCols
 	bestParts := cur
+	startSolved := st.solved
+	overBudget := func() bool {
+		return opt.MFReduceBudget > 0 && st.solved-startSolved >= opt.MFReduceBudget
+	}
 
 	for br := bcRows; br > 3; br-- {
 		next := make([]*part, len(cur))
 		ok := true
 		for i, p := range cur {
+			if overBudget() {
+				ok = false
+				break
+			}
 			np := &part{isop: p.isop, dual: p.dual, sol: p.sol}
 			m, n := p.sol.Grid.M, p.sol.Grid.N
 			switch {

@@ -111,3 +111,37 @@ func TestMinimizeOutputs(t *testing.T) {
 		t.Fatalf("minimization failed: %v", min[0])
 	}
 }
+
+// TestMultiReduceBudget: MFReduceBudget caps the LM solves the shared
+// row-reduction phase may spend. The budgeted run must verify, must not
+// spend more reduce-phase solves than the cap allows per row step, and
+// a batch-stance run (DS off + small budget) must stay within the
+// unbudgeted run's solve count — the property the batch endpoint's
+// "fewer solves than independent submissions" win rests on.
+func TestMultiReduceBudget(t *testing.T) {
+	fns := threeOutputs()
+	free, err := SynthesizeMulti(fns, Options{DisableDS: true}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := SynthesizeMulti(fns, Options{DisableDS: true, MFReduceBudget: 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := capped.Lattice.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if capped.LMSolved > free.LMSolved {
+		t.Fatalf("budgeted run solved %d > unbudgeted %d", capped.LMSolved, free.LMSolved)
+	}
+	// The per-output searches are identical; the cap bites only in the
+	// reduction, which may spend at most one solve per attempted row
+	// step before the overBudget check stops it.
+	perOutput := 0
+	for _, p := range capped.Parts {
+		perOutput += p.LMSolved
+	}
+	if reduceSpent := capped.LMSolved - perOutput; reduceSpent > len(fns) {
+		t.Fatalf("reduce phase spent %d solves under a budget of 1", reduceSpent)
+	}
+}

@@ -25,8 +25,9 @@ import (
 // truncated body with the backend's 2xx status would hand the client
 // corrupt JSON.
 const (
-	maxProxyReqBody  = 1 << 20
-	maxProxyRespBody = 4 << 20
+	maxProxyReqBody      = 1 << 20
+	maxProxyBatchReqBody = 4 << 20 // batches carry up to 64 PLA texts
+	maxProxyRespBody     = 4 << 20
 )
 
 // jobIDSep joins the owning shard's ID and the backend-local job id in
@@ -86,6 +87,7 @@ func isDialError(err error) bool {
 func (f *Front) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/synthesize", f.instrument("synthesize", slog.LevelInfo, f.handleSynthesize))
+	mux.HandleFunc("POST /v1/synthesize/batch", f.instrument("synthesize_batch", slog.LevelInfo, f.handleSynthesizeBatch))
 	mux.HandleFunc("GET /v1/jobs/{id}", f.instrument("jobs", slog.LevelInfo, f.handleJob))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", f.instrument("events", slog.LevelDebug, f.handleJobEvents))
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", f.instrument("trace", slog.LevelInfo, f.handleJobTrace))
@@ -173,21 +175,62 @@ func (f *Front) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error(), reqID)
 		return
 	}
-	w.Header().Set("X-Janus-Fn-Key", fnKey)
 	body, err := json.Marshal(req)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error(), reqID)
 		return
 	}
+	f.routeSynthesize(w, r, "/v1/synthesize", fnKey, body, req.Async, true, reqID)
+}
 
-	rank := f.shards.rank(fnKey)
+// handleSynthesizeBatch routes a multi-function batch by its canonical
+// batch key — the same rendezvous hash over the same keyspace as single
+// requests (batch keys are domain-prefixed, so they never collide with
+// single-function keys), giving an identical batch a sticky owner whose
+// coalescing and cache apply. Batches skip the peer-fill hint: the
+// backend's batch path does not consult peers, and the per-function
+// entries a finished batch unpacks feed the single-function fill
+// machinery instead.
+func (f *Front) handleSynthesizeBatch(w http.ResponseWriter, r *http.Request) {
+	reqID := obsv.RequestIDFromContext(r.Context())
+	f.nRouted.Add(1)
+	mRequests.Inc()
+	var req service.BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxProxyBatchReqBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), reqID)
+		return
+	}
+	batchKey, err := service.BatchKeyOf(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), reqID)
+		return
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error(), reqID)
+		return
+	}
+	f.routeSynthesize(w, r, "/v1/synthesize/batch", batchKey, body, req.Async, false, reqID)
+}
+
+// routeSynthesize is the shared forwarding tail of both synthesize
+// routes: rank the key's owners, walk the rank with failover, and relay
+// the first answer. wantFill enables the reshard cache-fill hint (single
+// requests only).
+func (f *Front) routeSynthesize(w http.ResponseWriter, r *http.Request, path, key string, body []byte, async, wantFill bool, reqID string) {
+	w.Header().Set("X-Janus-Fn-Key", key)
+	tenant := r.Header.Get("X-Janus-Tenant")
+
+	rank := f.shards.rank(key)
 	if len(rank) == 0 {
 		f.nNoBackend.Add(1)
 		mNoBackend.Inc()
 		writeError(w, http.StatusServiceUnavailable, "front: no healthy backends", reqID)
 		return
 	}
-	prev, hasPrev := f.shards.prevOwner(fnKey)
+	prev, hasPrev := f.shards.prevOwner(key)
 	_, live := f.shards.snapshot()
 
 	var lastErr error
@@ -195,17 +238,17 @@ func (f *Front) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		if attempt > 0 {
 			f.nFailovers.Add(1)
 			mFailovers.Inc()
-			f.log.Warn("failover", "fn_key", fnPrefix(fnKey), "request_id", reqID,
+			f.log.Warn("failover", "fn_key", fnPrefix(key), "request_id", reqID,
 				"to", b.ID, "attempt", attempt, "err", errString(lastErr))
 		}
 		// Hint at the previous owner when it is a different, live backend
 		// — exactly the reshard case where the target's cache is cold but
 		// a peer's is warm.
 		fill := ""
-		if hasPrev && prev.ID != b.ID && live[prev.ID] {
+		if wantFill && hasPrev && prev.ID != b.ID && live[prev.ID] {
 			fill = prev.URL
 		}
-		done, err := f.forwardSynthesize(r.Context(), w, b, body, reqID, fill, req.Async)
+		done, err := f.forwardSynthesize(r.Context(), w, b, path, body, reqID, fill, tenant, async)
 		if done {
 			return
 		}
@@ -230,16 +273,21 @@ func (f *Front) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 // attempt may solve on in the background (its result lands in that
 // backend's cache, so the work is not wasted), and the client gets
 // exactly one answer.
-func (f *Front) forwardSynthesize(ctx context.Context, w http.ResponseWriter, b Backend, body []byte, reqID, fill string, async bool) (bool, error) {
+func (f *Front) forwardSynthesize(ctx context.Context, w http.ResponseWriter, b Backend, path string, body []byte, reqID, fill, tenant string, async bool) (bool, error) {
 	var lastErr error
 	for try := 0; ; try++ {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-			b.URL+"/v1/synthesize", bytes.NewReader(body))
+			b.URL+path, bytes.NewReader(body))
 		if err != nil {
 			return false, err
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set("X-Request-Id", reqID)
+		if tenant != "" {
+			// The front is tenant-transparent: the scheduling share is a
+			// backend decision, the front just relays the claim.
+			req.Header.Set("X-Janus-Tenant", tenant)
+		}
 		if fill != "" {
 			req.Header.Set("X-Janus-Fill-From", fill)
 			f.nFillHints.Add(1)
@@ -509,13 +557,18 @@ type BackendStatus struct {
 	Stats *service.Stats `json:"stats,omitempty"`
 }
 
-// Totals sums the reachable backends' queue capacity and load.
+// Totals sums the reachable backends' queue capacity and load. Tenants
+// merges the per-backend scheduler rows by tenant name — counters and
+// depths sum; weight and share are per-backend configuration, so the
+// first reachable backend's values stand for the fleet (deployments are
+// expected to configure tenancy uniformly).
 type Totals struct {
-	QueueDepth    int   `json:"queue_depth"`
-	QueueCapacity int   `json:"queue_capacity"`
-	Running       int64 `json:"running_jobs"`
-	Workers       int   `json:"workers"`
-	DiskEntries   int   `json:"disk_entries"`
+	QueueDepth    int                   `json:"queue_depth"`
+	QueueCapacity int                   `json:"queue_capacity"`
+	Running       int64                 `json:"running_jobs"`
+	Workers       int                   `json:"workers"`
+	DiskEntries   int                   `json:"disk_entries"`
+	Tenants       []service.TenantStats `json:"tenants,omitempty"`
 }
 
 // statsSnapshot builds the front-and-membership view from the poller's
@@ -567,6 +620,8 @@ func (f *Front) handleStats(w http.ResponseWriter, r *http.Request) {
 		}(i, st)
 	}
 	wg.Wait()
+	byTenant := map[string]*service.TenantStats{}
+	var tenantOrder []string
 	for i, s := range stats {
 		if s == nil {
 			continue
@@ -579,6 +634,29 @@ func (f *Front) handleStats(w http.ResponseWriter, r *http.Request) {
 		out.Totals.Running += s.Running
 		out.Totals.Workers += s.Workers
 		out.Totals.DiskEntries += s.DiskEntries
+		if s.Scheduler == nil {
+			continue
+		}
+		for _, ts := range s.Scheduler.Tenants {
+			agg, ok := byTenant[ts.Name]
+			if !ok {
+				// Weight/share/caps are per-backend configuration; the first
+				// reachable backend's values stand for the (uniform) fleet.
+				cp := ts
+				byTenant[ts.Name] = &cp
+				tenantOrder = append(tenantOrder, ts.Name)
+				continue
+			}
+			agg.QueueDepth += ts.QueueDepth
+			agg.InFlight += ts.InFlight
+			agg.Admitted += ts.Admitted
+			agg.Dispatched += ts.Dispatched
+			agg.Completed += ts.Completed
+			agg.Shed += ts.Shed
+		}
+	}
+	for _, name := range tenantOrder {
+		out.Totals.Tenants = append(out.Totals.Tenants, *byTenant[name])
 	}
 	writeJSON(w, http.StatusOK, out)
 }

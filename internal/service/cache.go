@@ -17,6 +17,11 @@ type outcome struct {
 	Status string      `json:"status"`
 	Error  string      `json:"error,omitempty"`
 	Result *ResultJSON `json:"result,omitempty"`
+	// Batch is set instead of Result for batch jobs; batch and single
+	// keys never collide (batchFnKey hashes a prefixed key list), so an
+	// outcome is one or the other. The peer cache-lookup surface only
+	// serves Result-bearing outcomes.
+	Batch *BatchResultJSON `json:"batch,omitempty"`
 }
 
 // memCache is the hot tier: an entry-count-bounded LRU of outcomes.

@@ -24,7 +24,18 @@ type Client struct {
 	// HTTPClient overrides the transport; nil uses the shared keep-alive
 	// client (sharedHTTPClient).
 	HTTPClient *http.Client
+	// Tenant, when set, is sent as X-Janus-Tenant on every request so
+	// the daemon accounts this client's jobs to that tenant's scheduling
+	// share (WithTenant).
+	Tenant string
 }
+
+// maxClientRespBody bounds how much of a response body the client will
+// buffer — mirroring the front proxy's response cap, and for the same
+// reason: an unbounded ReadAll hands the peer a memory lever. A body
+// over the cap is reported as a distinct "response too large" APIError
+// rather than truncated into an "unexpected end of JSON input".
+const maxClientRespBody = 4 << 20
 
 // sharedHTTPClient is the default transport for every Client in the
 // process: one connection pool with generous per-host keep-alives, so a
@@ -47,6 +58,12 @@ type ClientOption func(*Client)
 // cookie policy). The caller owns its lifecycle.
 func WithHTTPClient(hc *http.Client) ClientOption {
 	return func(c *Client) { c.HTTPClient = hc }
+}
+
+// WithTenant stamps every request from this client with a tenant name,
+// mapping its jobs onto that tenant's scheduling share.
+func WithTenant(tenant string) ClientOption {
+	return func(c *Client) { c.Tenant = tenant }
 }
 
 // WithTimeout bounds every request made by this client, sharing the
@@ -106,14 +123,27 @@ func (c *Client) do(ctx context.Context, method, path string, body, into any) er
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.Tenant != "" {
+		req.Header.Set("X-Janus-Tenant", c.Tenant)
+	}
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	// Read one byte past the cap so truncation is detectable: a body
+	// exactly at the limit parses, one over it errors distinctly instead
+	// of surfacing as a confusing JSON parse failure on a cut-off body.
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxClientRespBody+1))
 	if err != nil {
 		return err
+	}
+	if len(data) > maxClientRespBody {
+		return &APIError{
+			Code:      resp.StatusCode,
+			Message:   fmt.Sprintf("response too large (over %d bytes)", maxClientRespBody),
+			RequestID: resp.Header.Get("X-Request-Id"),
+		}
 	}
 	if resp.StatusCode >= 400 {
 		se := &APIError{Code: resp.StatusCode, RequestID: resp.Header.Get("X-Request-Id")}
@@ -174,6 +204,16 @@ func parseRetryAfter(header string, now time.Time) time.Duration {
 func (c *Client) Synthesize(ctx context.Context, req Request) (*Response, error) {
 	var resp Response
 	if err := c.do(ctx, http.MethodPost, "/v1/synthesize", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SynthesizeBatch submits a multi-function batch; the Response carries
+// the packed result in Batch (or a poll handle; check Status).
+func (c *Client) SynthesizeBatch(ctx context.Context, req BatchRequest) (*Response, error) {
+	var resp Response
+	if err := c.do(ctx, http.MethodPost, "/v1/synthesize/batch", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

@@ -39,6 +39,7 @@ const waitGrace = 250 * time.Millisecond
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/synthesize", s.instrument("synthesize", s.sloSynth, slog.LevelInfo, s.handleSynthesize))
+	mux.HandleFunc("POST /v1/synthesize/batch", s.instrument("synthesize_batch", s.sloSynth, slog.LevelInfo, s.handleSynthesizeBatch))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.sloJobs, slog.LevelInfo, s.handleJob))
 	// Streaming holds the connection open for the job's lifetime; keeping
 	// it out of the jobs SLO (and at debug log level) stops every watch
@@ -123,31 +124,27 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error(), reqID)
 		return
 	}
-	// Bound the wait to the request budget (plus grace) so an abandoned
-	// connection is the only way to give up earlier than the job does.
 	p, err := parseRequest(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error(), reqID)
 		return
 	}
 	w.Header().Set("X-Janus-Fn-Key", p.fnKey)
+	// Bound the wait to the request budget (plus grace) so an abandoned
+	// connection is the only way to give up earlier than the job does.
 	ctx, cancel := context.WithTimeout(r.Context(),
 		p.timeout(s.cfg.DefaultTimeout, s.cfg.MaxTimeout)+waitGrace)
 	defer cancel()
 	// A front tier that just resharded this key hints at the previous
 	// owner; the serve path consults its cache before synthesizing.
 	ctx = ContextWithFillFrom(ctx, r.Header.Get("X-Janus-Fill-From"))
-	resp, err := s.Synthesize(ctx, req)
+	ctx = ContextWithTenant(ctx, sanitizeTenant(r.Header.Get("X-Janus-Tenant")))
+	// synthesizeParsed, not Synthesize: the request was already parsed
+	// above (fn key, timeout), and parsing hashes every cover — doing it
+	// twice per request was pure waste.
+	resp, err := s.synthesizeParsed(ctx, p)
 	if err != nil {
-		switch {
-		case errors.Is(err, ErrBusy):
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, err.Error(), reqID)
-		case errors.Is(err, ErrDraining):
-			writeError(w, http.StatusServiceUnavailable, err.Error(), reqID)
-		default:
-			writeError(w, http.StatusBadRequest, err.Error(), reqID)
-		}
+		writeSynthesizeError(w, err, reqID)
 		return
 	}
 	code := http.StatusOK
@@ -155,6 +152,55 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusAccepted // poll GET /v1/jobs/{id}
 	}
 	writeJSON(w, code, resp)
+}
+
+// handleSynthesizeBatch mirrors handleSynthesize for multi-function
+// workloads: one batch is one job through core.SynthesizeMulti.
+func (s *Server) handleSynthesizeBatch(w http.ResponseWriter, r *http.Request) {
+	reqID := obsv.RequestIDFromContext(r.Context())
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), reqID)
+		return
+	}
+	pb, err := parseBatch(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), reqID)
+		return
+	}
+	w.Header().Set("X-Janus-Fn-Key", pb.fnKey)
+	ctx, cancel := context.WithTimeout(r.Context(),
+		pb.timeout(s.cfg.DefaultTimeout, s.cfg.MaxTimeout)+waitGrace)
+	defer cancel()
+	ctx = ContextWithTenant(ctx, sanitizeTenant(r.Header.Get("X-Janus-Tenant")))
+	resp, err := s.synthesizeBatchParsed(ctx, pb)
+	if err != nil {
+		writeSynthesizeError(w, err, reqID)
+		return
+	}
+	code := http.StatusOK
+	if resp.Status == StatusQueued || resp.Status == StatusRunning {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, resp)
+}
+
+// writeSynthesizeError maps admission errors onto status codes, shared
+// by the single and batch routes. ErrTenantBusy wraps ErrBusy, so a
+// per-tenant shed carries the same 429 + Retry-After contract as a
+// global queue-full.
+func writeSynthesizeError(w http.ResponseWriter, err error, reqID string) {
+	switch {
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error(), reqID)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error(), reqID)
+	default:
+		writeError(w, http.StatusBadRequest, err.Error(), reqID)
+	}
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -179,8 +225,16 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCacheLookup(w http.ResponseWriter, r *http.Request) {
 	reqID := obsv.RequestIDFromContext(r.Context())
 	q := r.URL.Query()
-	timeoutMS := parseInt64(q.Get("timeout_ms"))
-	maxConflicts := parseInt64(q.Get("max_conflicts"))
+	timeoutMS, err := parseInt64(q.Get("timeout_ms"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "timeout_ms: "+err.Error(), reqID)
+		return
+	}
+	maxConflicts, err := parseInt64(q.Get("max_conflicts"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "max_conflicts: "+err.Error(), reqID)
+		return
+	}
 	if timeoutMS < 0 || maxConflicts < 0 {
 		writeError(w, http.StatusBadRequest, "negative budget", reqID)
 		return
@@ -193,17 +247,20 @@ func (s *Server) handleCacheLookup(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ent)
 }
 
-// parseInt64 parses a decimal query value; absent or garbage reads 0,
-// an explicit negative survives so the handler can reject it.
-func parseInt64(v string) int64 {
+// parseInt64 parses a decimal query value; absent reads 0 (the budget
+// fields are optional), but garbage is an error the handler must 400.
+// Budget values feed cache-compatibility decisions — a malformed
+// timeout_ms silently read as 0 ("no budget") could hand a peer an
+// answer its real budget is not entitled to.
+func parseInt64(v string) (int64, error) {
 	if v == "" {
-		return 0
+		return 0, nil
 	}
 	n, err := strconv.ParseInt(v, 10, 64)
 	if err != nil {
-		return 0
+		return 0, fmt.Errorf("not a decimal integer: %q", v)
 	}
-	return n
+	return n, nil
 }
 
 // maxLongPoll caps a single ?wait= long-poll round.

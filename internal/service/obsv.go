@@ -32,6 +32,17 @@ var (
 	mFlightEntries = obsv.Default.Counter("janus_service_flight_entries_total")
 	mTracesPinned  = obsv.Default.Counter("janus_service_traces_pinned_total")
 
+	// Batch synthesis: whole-batch requests, and per-output answers a
+	// finished batch unpacked into the single-function cache.
+	mBatchRequests = obsv.Default.Counter("janus_service_batch_requests_total")
+	mBatchUnpacked = obsv.Default.Counter("janus_service_batch_unpacked_total")
+
+	// Scheduler: DRR deficit refill rounds, and dispatches whose cover
+	// shape matched the previous one (memo-affinity hits). Per-tenant
+	// depth/admit/shed metrics are created lazily per tenant (tenant.go).
+	mSchedRefills     = obsv.Default.Counter("janus_service_sched_refill_rounds_total")
+	mDispatchAffinity = obsv.Default.Counter("janus_service_dispatch_affinity_total")
+
 	// Peer cache fill (the front tier's reshard warm-up): lookups served
 	// to peers on /v1/cache/{fnKey}, and fills this daemon performed
 	// against a hinted peer on its own misses. The probe/hit/rejected

@@ -93,6 +93,10 @@ type Response struct {
 	Cached string      `json:"cached,omitempty"`
 	Error  string      `json:"error,omitempty"`
 	Result *ResultJSON `json:"result,omitempty"`
+	// Batch is the result of a batch job (POST /v1/synthesize/batch and
+	// job polls for batch jobs); exactly one of Result / Batch is set on
+	// a done answer.
+	Batch *BatchResultJSON `json:"batch,omitempty"`
 	// Progress is the live snapshot for polled jobs (GET /v1/jobs/{id}
 	// with progress enabled): current phase, bounds, best incumbent.
 	Progress *ProgressJSON `json:"progress,omitempty"`

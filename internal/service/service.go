@@ -19,6 +19,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"log/slog"
 	"path/filepath"
@@ -87,6 +88,19 @@ type Config struct {
 	// hold its first verified mapping, enqueue to incumbent (default
 	// 10s). Jobs that finish without any mapping count against it.
 	FirstMappingSLO time.Duration
+	// Tenants configures named tenants' scheduling shares; tenants not
+	// listed here get TenantDefaults on first sight. See TenantConfig.
+	Tenants map[string]TenantConfig
+	// TenantDefaults applies to tenants without an explicit entry
+	// (zero fields resolve to: weight 1, queue share = QueueDepth,
+	// in-flight unlimited).
+	TenantDefaults TenantConfig
+	// BatchReduceBudget caps the LM solves one batch may spend in the
+	// shared row-reduction phase (0 = default 8, negative = unlimited).
+	// The cap is what keeps a batch strictly cheaper than independent
+	// submissions: the per-output searches skip the dichotomic-search
+	// bounds, and the reduction must not spend back more than that saves.
+	BatchReduceBudget int
 	// Peers allowlists the daemon base URLs this server may fill its
 	// cache from. The X-Janus-Fill-From hint is untrusted client input —
 	// honoring an arbitrary URL would let any client make the daemon
@@ -142,6 +156,12 @@ func (c *Config) fill() {
 	if c.FirstMappingSLO <= 0 {
 		c.FirstMappingSLO = 10 * time.Second
 	}
+	switch {
+	case c.BatchReduceBudget == 0:
+		c.BatchReduceBudget = 8
+	case c.BatchReduceBudget < 0:
+		c.BatchReduceBudget = 0 // unlimited
+	}
 	if c.SynthSLO <= 0 {
 		c.SynthSLO = 30 * time.Second
 	}
@@ -181,9 +201,14 @@ type Server struct {
 	log         *slog.Logger
 	reqSeq      atomic.Uint64
 
-	mu         sync.Mutex
-	draining   bool
-	queue      chan *job
+	mu       sync.Mutex
+	draining bool
+	// sched replaces the old single job channel: per-tenant FIFOs behind
+	// a weighted deficit-round-robin dispatcher (tenant.go). cond wakes
+	// workers on enqueue, job completion (in-flight caps may have
+	// unblocked a tenant), and drain.
+	sched      *scheduler
+	cond       *sync.Cond
 	inflight   map[string]*job // queued or running, by canonical key
 	jobs       map[string]*job // by id, finished jobs retained
 	doneOrder  []string        // finished ids, oldest first
@@ -208,7 +233,9 @@ type Server struct {
 	wg sync.WaitGroup
 
 	// synth runs one synthesis; tests replace it to count and stall.
-	synth func(f cube.Cover, opt core.Options) (core.Result, error)
+	// synthMulti is the batch equivalent (core.SynthesizeMulti).
+	synth      func(f cube.Cover, opt core.Options) (core.Result, error)
+	synthMulti func(fns []cube.Cover, opt core.Options, reduce bool) (*core.MultiResult, error)
 }
 
 // job is one synthesis admitted to the queue. Mutable fields (status,
@@ -219,6 +246,9 @@ type job struct {
 	key       string
 	requestID string // the admitting request's id, stamped on the trace
 	p         *parsedRequest
+	bp        *parsedBatch // non-nil for batch jobs (then p is nil)
+	tenant    string       // the tenant queue this job is accounted to
+	shape     string       // cover shape for memo-affinity dispatch ("" for batches)
 	enqueued  time.Time
 	deadline  time.Time
 	ctx       context.Context
@@ -233,19 +263,30 @@ type job struct {
 	done      chan struct{}
 }
 
+// fnKey returns the job's routing identity: the single function's key
+// or the batch key.
+func (j *job) fnKey() string {
+	if j.bp != nil {
+		return j.bp.fnKey
+	}
+	return j.p.fnKey
+}
+
 // NewServer builds the service, loads the persistent tier (results and
 // the memo path snapshot), and starts the worker pool.
 func NewServer(cfg Config) (*Server, error) {
 	cfg.fill()
 	s := &Server{
-		cfg:      cfg,
-		mem:      newMemCache(cfg.MemEntries),
-		queue:    make(chan *job, cfg.QueueDepth),
-		inflight: make(map[string]*job),
-		jobs:     make(map[string]*job),
-		budgets:  make(map[string][]budgetEntry),
-		synth:    core.Synthesize,
+		cfg:        cfg,
+		mem:        newMemCache(cfg.MemEntries),
+		sched:      newScheduler(cfg.QueueDepth, cfg.TenantDefaults, cfg.Tenants),
+		inflight:   make(map[string]*job),
+		jobs:       make(map[string]*job),
+		budgets:    make(map[string][]budgetEntry),
+		synth:      core.Synthesize,
+		synthMulti: core.SynthesizeMulti,
 	}
+	s.cond = sync.NewCond(&s.mu)
 	s.SetPeers(cfg.Peers...)
 	var nonce [4]byte
 	rand.Read(nonce[:]) //nolint:errcheck // crypto/rand never fails on supported platforms
@@ -299,16 +340,24 @@ var (
 // (which is cancelled once no waiter remains, unless async) and returns
 // the job's current state so the caller can poll later.
 func (s *Server) Synthesize(ctx context.Context, req Request) (*Response, error) {
+	p, err := parseRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	return s.synthesizeParsed(ctx, p)
+}
+
+// synthesizeParsed is Synthesize past validation. The HTTP handler
+// calls it directly with the parsedRequest it already built (it needed
+// the fn key and timeout before dispatch), so a request is parsed —
+// covers hashed, PLA walked — exactly once on the synthesize path.
+func (s *Server) synthesizeParsed(ctx context.Context, p *parsedRequest) (*Response, error) {
 	start := time.Now()
 	mRequests.Inc()
 	reqID := obsv.RequestIDFromContext(ctx)
 	if reqID == "" {
 		reqID = s.newRequestID()
 		ctx = obsv.ContextWithRequestID(ctx, reqID)
-	}
-	p, err := parseRequest(req)
-	if err != nil {
-		return nil, err
 	}
 	if out, where, ok := s.cached(p.key); ok {
 		hRequestNS.Observe(int64(time.Since(start)))
@@ -343,7 +392,7 @@ func (s *Server) Synthesize(ctx context.Context, req Request) (*Response, error)
 			return withMeta(respond(out, "", "peer"), reqID, p.fnKey), nil
 		}
 	}
-	j, coalesced, err := s.admit(p, reqID)
+	j, coalesced, err := s.admit(p, nil, reqID, tenantFromContext(ctx))
 	if err != nil {
 		// Shed and drain refusals go in the flight recorder too: a burst
 		// of 429s is exactly the kind of incident it exists to replay.
@@ -357,7 +406,7 @@ func (s *Server) Synthesize(ctx context.Context, req Request) (*Response, error)
 		})
 		return nil, err
 	}
-	if req.Async {
+	if p.req.Async {
 		s.mu.Lock()
 		resp := &Response{JobID: j.id, Status: j.status, RequestID: reqID, FnKey: p.fnKey}
 		s.mu.Unlock()
@@ -384,6 +433,82 @@ func (s *Server) Synthesize(ctx context.Context, req Request) (*Response, error)
 		s.abandon(j)
 		s.mu.Lock()
 		resp := &Response{JobID: j.id, Status: j.status, RequestID: reqID, FnKey: p.fnKey}
+		s.mu.Unlock()
+		return resp, nil
+	}
+}
+
+// SynthesizeBatch is the batch entry point (POST /v1/synthesize/batch):
+// resolve the whole batch against the cache, coalesce with an identical
+// in-flight batch, or enqueue one job that runs core.SynthesizeMulti
+// over every function. Batches skip the budget index and peer fill —
+// both are per-function mechanisms, and the per-function cache entries
+// a finished batch unpacks are what feeds them.
+func (s *Server) SynthesizeBatch(ctx context.Context, req BatchRequest) (*Response, error) {
+	pb, err := parseBatch(req)
+	if err != nil {
+		return nil, err
+	}
+	return s.synthesizeBatchParsed(ctx, pb)
+}
+
+// synthesizeBatchParsed is SynthesizeBatch past validation (the HTTP
+// handler parses once and calls this, like synthesizeParsed).
+func (s *Server) synthesizeBatchParsed(ctx context.Context, pb *parsedBatch) (*Response, error) {
+	start := time.Now()
+	mRequests.Inc()
+	mBatchRequests.Inc()
+	reqID := obsv.RequestIDFromContext(ctx)
+	if reqID == "" {
+		reqID = s.newRequestID()
+		ctx = obsv.ContextWithRequestID(ctx, reqID)
+	}
+	if out, where, ok := s.cached(pb.key); ok && out.Batch != nil {
+		hRequestNS.Observe(int64(time.Since(start)))
+		s.flight.record(FlightEntry{
+			Time: start, RequestID: reqID, FnKey: fnPrefix(pb.fnKey),
+			Outcome: out.Status, Cached: where, Grid: out.Batch.Sol,
+			TotalNS: int64(time.Since(start)),
+		})
+		return withMeta(respond(out, "", where), reqID, pb.fnKey), nil
+	}
+	j, coalesced, err := s.admit(nil, pb, reqID, tenantFromContext(ctx))
+	if err != nil {
+		oc := outcomeShed
+		if err == ErrDraining {
+			oc = outcomeDraining
+		}
+		s.flight.record(FlightEntry{
+			Time: start, RequestID: reqID, FnKey: fnPrefix(pb.fnKey),
+			Outcome: oc, Error: err.Error(), TotalNS: int64(time.Since(start)),
+		})
+		return nil, err
+	}
+	if pb.req.Async {
+		s.mu.Lock()
+		resp := &Response{JobID: j.id, Status: j.status, RequestID: reqID, FnKey: pb.fnKey}
+		s.mu.Unlock()
+		return resp, nil
+	}
+	defer func() { hRequestNS.Observe(int64(time.Since(start))) }()
+	cached := ""
+	if coalesced {
+		cached = "coalesced"
+	}
+	select {
+	case <-j.done:
+		if coalesced {
+			s.flight.record(FlightEntry{
+				Time: start, RequestID: reqID, JobID: j.id, CoalescedInto: j.id,
+				FnKey: fnPrefix(pb.fnKey), Outcome: j.out.Status, Cached: cached,
+				TotalNS: int64(time.Since(start)),
+			})
+		}
+		return withMeta(respond(j.out, j.id, cached), reqID, pb.fnKey), nil
+	case <-ctx.Done():
+		s.abandon(j)
+		s.mu.Lock()
+		resp := &Response{JobID: j.id, Status: j.status, RequestID: reqID, FnKey: pb.fnKey}
 		s.mu.Unlock()
 		return resp, nil
 	}
@@ -434,18 +559,37 @@ func (s *Server) cached(key string) (*outcome, string, bool) {
 }
 
 // admit coalesces the request onto an identical in-flight job or
-// enqueues a new one, all under the mutex so admission cannot race
-// Shutdown's queue close.
-func (s *Server) admit(p *parsedRequest, reqID string) (*job, bool, error) {
-	timeout := p.timeout(s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+// enqueues a new one under the tenant's fairness rules, all under the
+// mutex so admission cannot race drain. Exactly one of p / bp is
+// non-nil (single vs batch job).
+func (s *Server) admit(p *parsedRequest, bp *parsedBatch, reqID, tenant string) (*job, bool, error) {
+	var key, shape string
+	var timeout time.Duration
+	var async bool
+	if bp != nil {
+		key = bp.key
+		timeout = bp.timeout(s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+		async = bp.req.Async
+	} else {
+		key = p.key
+		timeout = p.timeout(s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+		async = p.req.Async
+		// The cover's inputs×products shape is the memo-affinity signal:
+		// same shape means the path-enumeration memos for the probed grids
+		// are likely hot from the previous dispatch.
+		shape = fmt.Sprintf("%dx%d", p.cover.N, len(p.cover.Cubes))
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		return nil, false, ErrDraining
 	}
-	if j, ok := s.inflight[p.key]; ok {
+	if j, ok := s.inflight[key]; ok {
+		// Coalescing is keyed by the canonical request, not the tenant:
+		// two tenants asking the same question share one synthesis (the
+		// answer is identical), accounted to whichever tenant asked first.
 		j.waiters++
-		if p.req.Async {
+		if async {
 			j.async = true
 		}
 		mCoalesced.Inc()
@@ -454,38 +598,44 @@ func (s *Server) admit(p *parsedRequest, reqID string) (*job, bool, error) {
 	s.seq++
 	j := &job{
 		id:        fmt.Sprintf("j%s-%d", s.nonce, s.seq),
-		key:       p.key,
+		key:       key,
 		requestID: reqID,
 		p:         p,
+		bp:        bp,
+		tenant:    tenant,
+		shape:     shape,
 		enqueued:  time.Now(),
 		deadline:  time.Now().Add(timeout),
 		waiters:   1,
-		async:     p.req.Async,
+		async:     async,
 		status:    StatusQueued,
 		done:      make(chan struct{}),
 	}
-	if s.cfg.ProgressEvents > 0 {
+	if bp == nil && s.cfg.ProgressEvents > 0 {
 		// Created at admission so the events stream exists (and buffers)
 		// from the first queued moment, not only once a worker picks the
-		// job up.
+		// job up. Batch jobs carry no progress stream: the per-output
+		// searches would interleave into one incoherent event sequence.
 		j.progress = newProgressState(s.cfg.ProgressEvents, j.enqueued)
 	}
 	// The job deadline covers queue wait plus synthesis and holds even
 	// after every waiter is gone, so async jobs cannot run forever.
 	j.ctx, j.cancel = context.WithDeadline(s.baseCtx, j.deadline)
-	select {
-	case s.queue <- j:
-	default:
+	if err := s.sched.enqueue(j); err != nil {
 		j.cancel()
-		mQueueFull.Inc()
-		return nil, false, ErrBusy
+		if !errors.Is(err, ErrTenantBusy) {
+			mQueueFull.Inc()
+		}
+		return nil, false, err
 	}
-	gQueueDepth.Set(int64(len(s.queue)))
-	s.inflight[p.key] = j
+	gQueueDepth.Set(int64(s.sched.total))
+	s.inflight[key] = j
 	s.jobs[j.id] = j
+	s.cond.Signal()
 	s.log.Info("job queued", "job_id", j.id, "request_id", reqID,
-		"fn_key", fnPrefix(p.fnKey), "async", j.async,
-		"timeout_ms", timeout.Milliseconds(), "queue_depth", len(s.queue))
+		"fn_key", fnPrefix(j.fnKey()), "tenant", j.tenant, "batch", bp != nil,
+		"async", j.async, "timeout_ms", timeout.Milliseconds(),
+		"queue_depth", s.sched.total)
 	return j, false, nil
 }
 
@@ -518,7 +668,7 @@ func (s *Server) Job(id string) (*Response, bool) {
 	} else {
 		resp = &Response{JobID: j.id, Status: j.status}
 	}
-	resp.FnKey = j.p.fnKey
+	resp.FnKey = j.fnKey()
 	// The inline snapshot is what makes a plain poll "anytime": a caller
 	// that never opens the events stream still sees the bounds close in.
 	resp.Progress = j.progress.snapshot()
@@ -542,16 +692,43 @@ func (s *Server) JobEvents(id string) (*progressState, bool) {
 func respond(out *outcome, id, cached string) *Response {
 	return &Response{
 		JobID: id, Status: out.Status, Cached: cached,
-		Error: out.Error, Result: out.Result,
+		Error: out.Error, Result: out.Result, Batch: out.Batch,
 	}
 }
 
-// worker drains the queue until Shutdown closes it.
+// worker pulls dispatches from the scheduler until the drain completes:
+// it exits only once draining is set AND every queued job has been
+// picked (and short-circuited as canceled, if the hard stop fired), so
+// accepted jobs always reach a terminal state.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
-		gQueueDepth.Set(int64(len(s.queue)))
-		s.run(j)
+	for {
+		s.mu.Lock()
+		var j *job
+		for {
+			j = s.sched.pick()
+			if j != nil {
+				break
+			}
+			if s.draining && s.sched.total == 0 {
+				s.mu.Unlock()
+				return
+			}
+			s.cond.Wait()
+		}
+		gQueueDepth.Set(int64(s.sched.total))
+		s.mu.Unlock()
+		if j.bp != nil {
+			s.runBatch(j)
+		} else {
+			s.run(j)
+		}
+		s.mu.Lock()
+		s.sched.complete(j.tenant)
+		// Completion may unblock an in-flight-capped tenant, another
+		// waiting worker, or the drain loop.
+		s.cond.Broadcast()
+		s.mu.Unlock()
 	}
 }
 
@@ -708,6 +885,138 @@ func (s *Server) run(j *job) {
 	s.mu.Unlock()
 }
 
+// runBatch executes one batch job: every function through one
+// core.SynthesizeMulti call under the job context. A finished batch is
+// cached whole under the batch key AND unpacked per function, so later
+// single-function requests for anything the batch contained hit the
+// cache instead of re-solving.
+func (s *Server) runBatch(j *job) {
+	var jobSpan *obsv.Span
+	s.mu.Lock()
+	if j.ctx.Err() == context.Canceled {
+		s.finishLocked(j, &outcome{Status: StatusCanceled, Error: "canceled while queued"})
+		s.mu.Unlock()
+		s.flight.record(FlightEntry{
+			Time: j.enqueued, RequestID: j.requestID, JobID: j.id,
+			FnKey: fnPrefix(j.bp.fnKey), Outcome: StatusCanceled,
+			Error: "canceled while queued", TotalNS: int64(time.Since(j.enqueued)),
+		})
+		s.log.Info("batch canceled while queued", "job_id", j.id, "request_id", j.requestID)
+		return
+	}
+	j.status = StatusRunning
+	j.queueWait = time.Since(j.enqueued)
+	if s.cfg.TraceJobs > 0 {
+		j.trace = obsv.NewTraceBuffer(s.cfg.TraceSpans, s.cfg.TraceBytes)
+		jobSpan = obsv.Start(obsv.NewTracer(j.trace), nil, "BatchJob")
+	}
+	s.mu.Unlock()
+	hQueueWaitNS.Observe(int64(j.queueWait))
+
+	jobSpan.SetStr("job_id", j.id)
+	jobSpan.SetStr("request_id", j.requestID)
+	jobSpan.SetStr("fn_key", fnPrefix(j.bp.fnKey))
+	jobSpan.SetInt("outputs", int64(len(j.bp.fns)))
+	jobSpan.SetInt("queue_wait_ns", int64(j.queueWait))
+	ctx := obsv.ContextWithRequestID(j.ctx, j.requestID)
+	if jobSpan != nil {
+		ctx = obsv.ContextWithSpan(obsv.ContextWithTracer(ctx, jobSpan.Tracer()), jobSpan)
+	}
+
+	gRunning.Add(1)
+	started := time.Now()
+	covers := make([]cube.Cover, len(j.bp.fns))
+	for i, p := range j.bp.fns {
+		covers[i] = p.cover
+	}
+	opt := j.bp.coreOptions(s.cfg.BatchReduceBudget)
+	opt.Ctx = ctx
+	opt.Workers = s.cfg.SynthWorkers
+	opt.Deadline = j.deadline
+	mr, err := s.synthMulti(covers, opt, j.bp.reduce)
+	solve := time.Since(started)
+	gRunning.Add(-1)
+	hSolveNS.Observe(int64(solve))
+	ctxErr := j.ctx.Err() // read before cancel() makes it context.Canceled
+	j.cancel()
+
+	var out *outcome
+	switch {
+	case err != nil && ctxErr == context.Canceled:
+		mCanceled.Inc()
+		out = &outcome{Status: StatusCanceled, Error: "canceled"}
+	case err != nil:
+		mJobErrors.Inc()
+		out = &outcome{Status: StatusError, Error: err.Error()}
+	default:
+		mJobsDone.Inc()
+		out = &outcome{Status: StatusDone, Batch: renderBatch(mr, j.bp)}
+		if ctxErr != context.Canceled {
+			// Same rule as single jobs: an answer produced under less than
+			// its nominal budget (cancel) must not enter the caches; a
+			// deadline-bounded answer is the agreed product of this budget
+			// and caches under the exact batch key.
+			s.mem.put(j.key, out)
+			s.disk.put(j.key, out)
+			s.unpackBatch(j.bp, mr)
+		}
+	}
+	jobSpan.SetStr("outcome", out.Status)
+	if out.Batch != nil {
+		jobSpan.SetInt("size", int64(out.Batch.Size))
+		jobSpan.SetInt("lm_solved", int64(out.Batch.LMSolved))
+	}
+	jobSpan.End()
+
+	total := j.queueWait + solve
+	entry := FlightEntry{
+		Time: j.enqueued, RequestID: j.requestID, JobID: j.id,
+		FnKey: fnPrefix(j.bp.fnKey), Outcome: out.Status, Error: out.Error,
+		QueueWaitNS: int64(j.queueWait), SolveNS: int64(solve), TotalNS: int64(total),
+	}
+	if out.Batch != nil {
+		entry.Grid = out.Batch.Sol
+		entry.FinalUB = out.Batch.Size
+		entry.Engine = out.Batch.Engine
+	}
+	if s.flight.shouldPin(out.Status, false, total) {
+		if b := j.trace.Bytes(); len(b) > 0 {
+			s.flight.pin(j.id, b)
+			entry.TracePinned = true
+		}
+	}
+	s.flight.record(entry)
+	s.log.Info("batch finished", "job_id", j.id, "request_id", j.requestID,
+		"outcome", out.Status, "outputs", len(j.bp.fns), "grid", entry.Grid,
+		"tenant", j.tenant, "queue_wait_ms", j.queueWait.Milliseconds(),
+		"solve_ms", solve.Milliseconds())
+
+	s.mu.Lock()
+	s.finishLocked(j, out)
+	s.mu.Unlock()
+}
+
+// unpackBatch stores each converged per-output answer under the cache
+// identity a single-function request with the same options and budget
+// would use. A non-partial part's bounds met, so it is provably minimum
+// in the candidate space regardless of how the search was bounded —
+// exactly what a dedicated single run would have produced. Partial
+// parts are skipped: the batch's shared deadline says nothing about
+// what a dedicated budget would have bought that function.
+func (s *Server) unpackBatch(pb *parsedBatch, mr *core.MultiResult) {
+	for i, p := range pb.fns {
+		r := mr.Parts[i]
+		if r.Partial || r.Assignment == nil {
+			continue
+		}
+		out := &outcome{Status: StatusDone, Result: renderResult(r, p.names)}
+		s.mem.put(p.key, out)
+		s.disk.put(p.key, out)
+		s.recordBudget(p, r.MatchedLB)
+		mBatchUnpacked.Inc()
+	}
+}
+
 // finishLocked publishes a terminal outcome: the key frees for new
 // submissions, waiters wake, and the job stays pollable within the
 // retention window.
@@ -798,6 +1107,10 @@ type Stats struct {
 	DiskEntries   int   `json:"disk_entries"`
 	MemoLoaded    int64 `json:"memo_paths_loaded"`
 	TracedJobs    int   `json:"traced_jobs"`
+	// Scheduler is the fairness counter block: per-tenant queue depths,
+	// shares, and admit/shed/complete counters, plus the DRR round and
+	// affinity totals. Optional on the wire (older daemons omit it).
+	Scheduler *SchedulerStats `json:"scheduler,omitempty"`
 	// SLOs carries the per-endpoint burn-rate snapshots (omitted on
 	// /healthz responses from older daemons; clients must treat it as
 	// optional).
@@ -808,14 +1121,15 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	draining := s.draining
-	depth := len(s.queue)
+	depth := s.sched.total
 	traced := len(s.traceOrder)
+	sched := s.sched.stats()
 	s.mu.Unlock()
 	return Stats{
 		Draining: draining, QueueDepth: depth, QueueCapacity: s.cfg.QueueDepth,
 		Running: gRunning.Value(), Workers: s.cfg.Workers,
 		DiskEntries: s.disk.len(), MemoLoaded: gMemoLoaded.Value(),
-		TracedJobs: traced,
+		TracedJobs: traced, Scheduler: &sched,
 		SLOs: []obsv.SLOSnapshot{s.sloSynth.Snapshot(), s.sloJobs.Snapshot(),
 			s.sloFirstMap.Snapshot()},
 	}
@@ -832,8 +1146,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	s.draining = true
-	close(s.queue)
-	depth := len(s.queue)
+	depth := s.sched.total
+	// Wake every waiting worker: each drains remaining queued jobs and
+	// exits once the scheduler is empty.
+	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.log.Info("draining", "queue_depth", depth)
 

@@ -96,8 +96,23 @@ type (
 	ServiceConfig = service.Config
 	// ServiceRequest is the POST /v1/synthesize payload.
 	ServiceRequest = service.Request
+	// ServiceBatchRequest is the POST /v1/synthesize/batch payload: a
+	// multi-function workload synthesized onto one lattice via JANUS-MF.
+	ServiceBatchRequest = service.BatchRequest
+	// ServiceBatchFunction is one function of a batch payload.
+	ServiceBatchFunction = service.BatchFunction
+	// ServiceBatchResult is the wire form of a finished batch (packed
+	// lattice shape plus per-output parts).
+	ServiceBatchResult = service.BatchResultJSON
 	// ServiceResponse is the wire form of a job's state.
 	ServiceResponse = service.Response
+	// TenantConfig sizes one tenant's share of a Server (DRR weight,
+	// queue share, in-flight cap).
+	TenantConfig = service.TenantConfig
+	// TenantStats is one tenant's row in the /v1/stats scheduler block.
+	TenantStats = service.TenantStats
+	// SchedulerStats is the fairness counter block on /v1/stats.
+	SchedulerStats = service.SchedulerStats
 	// ServiceStats is the /healthz body.
 	ServiceStats = service.Stats
 	// Client talks to a running janusd.
@@ -165,6 +180,11 @@ func WithClientTimeout(d time.Duration) ClientOption { return service.WithTimeou
 
 // WithClientHTTP substitutes the client's whole *http.Client.
 func WithClientHTTP(hc *http.Client) ClientOption { return service.WithHTTPClient(hc) }
+
+// WithClientTenant stamps every request from the client with a tenant
+// name (the X-Janus-Tenant header), mapping its jobs onto that tenant's
+// scheduling share on the daemon.
+func WithClientTenant(tenant string) ClientOption { return service.WithTenant(tenant) }
 
 // NewFront builds the sharding front tier and starts its health poller;
 // serve its Handler and stop it with Close.

@@ -42,6 +42,13 @@
 # submission to first verified mapping, p50/p99, plus the event volume
 # and how many answers degraded to partial.
 #
+# A "batch_tenancy" block measures the JANUS-MF batch endpoint and the
+# multi-tenant scheduler on a fresh daemon: 16 functions submitted
+# independently and then as one POST /v1/synthesize/batch (the batch
+# must spend fewer LM solves — the paper's multi-function win, gated in
+# CI), plus a two-tenant contended run's per-tenant completion counts
+# and the scheduler's fairness block.
+#
 # A "front_shard" block measures the janusfront sharding tier: the
 # latency cost of proxying through a single-backend front vs hitting the
 # daemon directly (direct/front1 p50/p99 — the front should cost
@@ -167,6 +174,43 @@ svcpid=""
 merged=$(mktemp)
 awk -v svc="$svcjson" -v any="$anytime" '
 /^}$/ { print "  ,"; print "  \"service_load\": " svc ","; print "  \"anytime\": " any; print "}"; next }
+{ print }
+' "$out" > "$merged" && mv "$merged" "$out"
+
+# Batch + tenancy: a fresh daemon (no cache dir — the batch comparison
+# needs cold per-function answers) measures the JANUS-MF batching win,
+# then a two-tenant contended run's fairness accounting. The batch
+# workload is 16 six-input functions: independent submissions first
+# (their cache entries never help the batch, whose key is its own), then
+# the same functions as one batch.
+"$svcdir/janusd" -addr localhost:7167 -workers 2 \
+    -tenants "bulk:1:16,inter:4" &
+svcpid=$!
+sleep 1
+batchjson=$("$svcdir/janusload" -addr http://localhost:7167 \
+    -batch -distinct 16 -inputs 6 -seed 9 -timeout-ms 60000 -json)
+batch=$(printf '%s' "$batchjson" | python3 -c \
+    'import json,sys; print(json.dumps(json.load(sys.stdin)["batch_tenancy"]))')
+tenantjson=$("$svcdir/janusload" -addr http://localhost:7167 \
+    -tenants bulk,inter -n 48 -c 8 -distinct 8 -seed 5 -timeout-ms 60000 -json)
+tenants=$(printf '%s' "$tenantjson" | python3 -c \
+    'import json,sys; r=json.load(sys.stdin)
+print(json.dumps({"completed_by_tenant": r.get("completed_by_tenant"),
+                  "scheduler": r.get("scheduler")}))')
+kill -TERM "$svcpid" && wait "$svcpid" || true
+svcpid=""
+merged=$(mktemp)
+awk -v b="$batch" -v tn="$tenants" '
+/^}$/ {
+    print "  ,"
+    print "  \"batch_tenancy\": {"
+    print "    \"comment\": \"16 functions independently vs as one JANUS-MF batch (batch.batch_lm_solved must beat batch.independent_lm_solved), plus a two-tenant contended run: completion counts and the DRR scheduler block\","
+    print "    \"batch\": " b ","
+    print "    \"tenants\": " tn
+    print "  }"
+    print "}"
+    next
+}
 { print }
 ' "$out" > "$merged" && mv "$merged" "$out"
 
