@@ -14,7 +14,8 @@
 //	       [-slo-target F] [-progress-events N] [-slo-first-mapping-ms N]
 //	       [-peers URL,URL,...] [-tenants SPEC,SPEC,...]
 //	       [-tenant-weight N] [-tenant-queue-share N] [-tenant-inflight N]
-//	       [-batch-reduce-budget N]
+//	       [-tenant-slo-synth-ms N] [-tenant-slo-first-mapping-ms N]
+//	       [-batch-reduce-budget N] [-trace-propagate=BOOL]
 //
 // API:
 //
@@ -89,7 +90,10 @@ func main() {
 		tenWeight  = flag.Int("tenant-weight", 1, "default DRR weight for tenants not named in -tenants")
 		tenShare   = flag.Int("tenant-queue-share", 0, "default per-tenant queue share (0 = the global -queue)")
 		tenFlight  = flag.Int("tenant-inflight", 0, "default per-tenant in-flight cap (0 = unlimited)")
+		tenSloSyn  = flag.Int64("tenant-slo-synth-ms", 0, "per-tenant job e2e objective (0 = inherit -slo-synth-ms, negative disables per-tenant SLOs)")
+		tenSloFM   = flag.Int64("tenant-slo-first-mapping-ms", 0, "per-tenant first-mapping objective (0 = inherit -slo-first-mapping-ms, negative disables)")
 		batchRB    = flag.Int("batch-reduce-budget", 8, "LM solves the batch row-reduction phase may spend (0 = unlimited)")
+		traceProp  = flag.Bool("trace-propagate", true, "root job traces under an inbound X-Janus-Trace context (false ignores the header)")
 	)
 	flag.Parse()
 
@@ -121,8 +125,11 @@ func main() {
 		TenantDefaults: janus.TenantConfig{
 			Weight: *tenWeight, QueueShare: *tenShare, MaxInFlight: *tenFlight,
 		},
-		BatchReduceBudget: offIfZero(*batchRB),
-		Logger:            log,
+		TenantSynthSLO:          time.Duration(*tenSloSyn) * time.Millisecond,
+		TenantFirstMappingSLO:   time.Duration(*tenSloFM) * time.Millisecond,
+		DisableTracePropagation: !*traceProp,
+		BatchReduceBudget:       offIfZero(*batchRB),
+		Logger:                  log,
 	})
 	if err != nil {
 		fatal(err)

@@ -16,8 +16,10 @@
 //
 // -tenant stamps every request with one tenant name; -tenants cycles
 // requests across several, reporting per-tenant completion counts plus
-// the daemon's scheduler fairness block — the tool for eyeballing (or CI
-// asserting) that completed work tracks the configured weights.
+// the daemon's scheduler fairness block — including each tenant's SLO
+// burn rates when the daemon tracks per-tenant objectives — the tool
+// for eyeballing (or CI asserting) that completed work tracks the
+// configured weights and that no tenant is quietly burning its budget.
 //
 // -batch measures the JANUS-MF batching win: it first submits the
 // -distinct functions independently (summing their lm_solved), then the
@@ -306,6 +308,11 @@ func main() {
 			for _, ts := range rep.Scheduler.Tenants {
 				fmt.Printf("scheduler %s: weight=%d admitted=%d dispatched=%d completed=%d shed=%d\n",
 					ts.Name, ts.Weight, ts.Admitted, ts.Dispatched, ts.Completed, ts.Shed)
+				for _, slo := range ts.SLOs {
+					fmt.Printf("  tenant %s slo %s: %d/%d good (%.0fms objective), burn 5m=%.2f 1h=%.2f\n",
+						ts.Name, slo.Name, slo.Good, slo.Total,
+						slo.ObjectiveMS, slo.BurnRate5m, slo.BurnRate1h)
+				}
 			}
 		}
 		for _, slo := range rep.SLOs {

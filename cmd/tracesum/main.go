@@ -5,14 +5,24 @@
 // per-request outlier table keyed by the Job root spans: request id,
 // outcome, queue wait, and total duration, slowest first.
 //
+// Stitched fleet traces (the front's GET /v1/jobs/{id}/trace, spans from
+// more than one process) additionally get a per-hop table: spans and
+// wall-clock per process, plus the handoff gap where a span's parent
+// lives in another process. Hop durations come from each process's own
+// monotonic dur_ns, never from cross-process timestamp arithmetic;
+// handoff gaps are the one cross-clock number, so negative gaps (clock
+// skew between hosts) are clamped to zero and counted in the skew
+// column instead of poisoning the mean.
+//
 // Usage:
 //
-//	tracesum [-validate] [-top N] [trace.jsonl]
+//	tracesum [-validate] [-top N] [-by-hop] [trace.jsonl]
 //
 // Reads standard input when no file is given. The trace is always checked
 // against the span schema first; with -validate the command stops after
 // the check and prints the span count (non-zero exit on a bad trace),
-// which is what the CI trace job runs.
+// which is what the CI trace job runs. -by-hop forces the per-hop table
+// even for single-process traces.
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 func main() {
 	validate := flag.Bool("validate", false, "only validate the trace against the span schema")
 	top := flag.Int("top", 10, "rows in the per-request outlier table (service traces)")
+	byHopFlag := flag.Bool("by-hop", false, "force the per-hop table (automatic for multi-process traces)")
 	flag.Parse()
 
 	in := os.Stdin
@@ -52,12 +63,81 @@ func main() {
 		return
 	}
 
+	if byHop(recs, *byHopFlag) {
+		fmt.Println()
+	}
 	if byRequest(recs, *top) {
 		fmt.Println()
 	}
 	byName(recs)
 	fmt.Println()
 	byCandidate(recs)
+}
+
+// byHop prints one row per process in a stitched fleet trace: span
+// count, wall-clock accumulated there (from each process's own
+// monotonic dur_ns), and the cross-process handoff — for every span
+// whose parent lives in another hop, the gap between the parent's start
+// and the span's start on their respective clocks. That difference is
+// the only cross-clock arithmetic in the tool: when skew makes it
+// negative the gap counts as zero and lands in the skewed column.
+// Prints nothing (returns false) for single-process traces unless
+// forced.
+func byHop(recs []obsv.Record, force bool) bool {
+	procOf := func(r obsv.Record) string {
+		if r.Proc == "" {
+			return "local"
+		}
+		return r.Proc
+	}
+	type agg struct {
+		spans     int64
+		durNS     int64
+		handoffs  int64
+		handoffNS int64
+		skewed    int64
+	}
+	byID := make(map[uint64]obsv.Record, len(recs))
+	for _, r := range recs {
+		byID[r.ID] = r
+	}
+	hops := map[string]*agg{}
+	var order []string
+	for _, r := range recs {
+		p := procOf(r)
+		a := hops[p]
+		if a == nil {
+			a = &agg{}
+			hops[p] = a
+			order = append(order, p)
+		}
+		a.spans++
+		a.durNS += r.DurNS
+		if parent, ok := byID[r.Parent]; ok && procOf(parent) != p {
+			a.handoffs++
+			if gap := r.Start.Sub(parent.Start); gap > 0 {
+				a.handoffNS += int64(gap)
+			} else {
+				a.skewed++
+			}
+		}
+	}
+	if len(hops) < 2 && !force {
+		return false
+	}
+	sort.Strings(order)
+	t := report.NewTable("hop", "spans", "total", "handoffs", "handoff mean", "skewed")
+	for _, p := range order {
+		a := hops[p]
+		mean := "-"
+		if n := a.handoffs - a.skewed; n > 0 {
+			mean = dur(a.handoffNS / n)
+		}
+		t.Add(p, fmt.Sprint(a.spans), dur(a.durNS),
+			fmt.Sprint(a.handoffs), mean, fmt.Sprint(a.skewed))
+	}
+	fmt.Print(t.String())
+	return true
 }
 
 // byRequest prints one row per Job root span — service traces carry one

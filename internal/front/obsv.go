@@ -12,6 +12,8 @@ var (
 	mFillHints         = obsv.Default.Counter("janus_front_fill_hints_total")
 	mNoBackend         = obsv.Default.Counter("janus_front_no_backend_total")
 	mProxyErrors       = obsv.Default.Counter("janus_front_proxy_errors_total")
+	mTracesStitched    = obsv.Default.Counter("janus_front_traces_stitched_total")
+	mStatsLaggards     = obsv.Default.Counter("janus_front_stats_laggards_total")
 	mMembershipChanges = obsv.Default.Counter("janus_front_membership_changes_total")
 	gBackendsTotal     = obsv.Default.Gauge("janus_front_backends_total")
 	gBackendsHealthy   = obsv.Default.Gauge("janus_front_backends_healthy")

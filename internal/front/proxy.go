@@ -80,8 +80,9 @@ func isDialError(err error) bool {
 //	POST /v1/synthesize         route to the key's owner (failover down the rank)
 //	GET  /v1/jobs/{id}          routed by the shard embedded in the job id
 //	GET  /v1/jobs/{id}/events   SSE/long-poll passthrough to the owning shard
-//	GET  /v1/jobs/{id}/trace    trace passthrough
+//	GET  /v1/jobs/{id}/trace    backend trace stitched under the front's own spans
 //	GET  /v1/stats              merged backend stats + the front's own block
+//	GET  /metrics/prom          fleet Prometheus view (front + backends, backend-labeled)
 //	GET  /healthz               front health (503 when no backend is routable)
 //	/metrics, /debug/…          the obsv debug surface
 func (f *Front) Handler() http.Handler {
@@ -92,6 +93,7 @@ func (f *Front) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", f.instrument("events", slog.LevelDebug, f.handleJobEvents))
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", f.instrument("trace", slog.LevelInfo, f.handleJobTrace))
 	mux.HandleFunc("GET /v1/stats", f.instrument("stats", slog.LevelDebug, f.handleStats))
+	mux.HandleFunc("GET /metrics/prom", f.instrument("metrics_prom", slog.LevelDebug, f.handleMetricsProm))
 	mux.HandleFunc("GET /healthz", f.instrument("healthz", slog.LevelDebug, f.handleHealthz))
 	mux.Handle("/metrics", obsv.DebugHandler(nil))
 	mux.Handle("/debug/", obsv.DebugHandler(nil))
@@ -119,7 +121,7 @@ func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 func (f *Front) instrument(endpoint string, lvl slog.Level, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		id := sanitizeRequestID(r.Header.Get("X-Request-Id"))
+		id := obsv.SanitizeRequestID(r.Header.Get("X-Request-Id"))
 		if id == "" {
 			id = f.newRequestID()
 		}
@@ -134,22 +136,6 @@ func (f *Front) instrument(endpoint string, lvl slog.Level, h http.HandlerFunc) 
 	}
 }
 
-// sanitizeRequestID mirrors janusd's inbound-id policy.
-func sanitizeRequestID(id string) string {
-	if len(id) == 0 || len(id) > 64 {
-		return ""
-	}
-	for i := 0; i < len(id); i++ {
-		c := id[i]
-		switch {
-		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
-		case c == '-' || c == '_' || c == '.' || c == ':':
-		default:
-			return ""
-		}
-	}
-	return id
-}
 
 // handleSynthesize routes a synthesis to its function key's owner, with
 // deterministic failover down the rendezvous rank and Retry-After-paced
@@ -219,9 +205,30 @@ func (f *Front) handleSynthesizeBatch(w http.ResponseWriter, r *http.Request) {
 // routes: rank the key's owners, walk the rank with failover, and relay
 // the first answer. wantFill enables the reshard cache-fill hint (single
 // requests only).
+//
+// The walk is recorded as the front's half of the fleet trace: a Route
+// root span (owner, fn_key, tenant) with one Attempt child per backend
+// tried, each carrying the X-Janus-Trace context the backend roots its
+// Job span under. The request id doubles as the trace id — it already
+// obeys the trace-id charset and names the request end to end. The
+// finished tree is retained keyed by the client-visible job id, so
+// GET /v1/jobs/{id}/trace can stitch it onto the backend's stream.
 func (f *Front) routeSynthesize(w http.ResponseWriter, r *http.Request, path, key string, body []byte, async, wantFill bool, reqID string) {
 	w.Header().Set("X-Janus-Fn-Key", key)
 	tenant := r.Header.Get("X-Janus-Tenant")
+
+	var fbuf *obsv.TraceBuffer
+	var route *obsv.Span // nil-safe when tracing is disabled
+	if f.traces != nil {
+		fbuf = obsv.NewTraceBuffer(0, 0)
+		tracer := obsv.NewTracer(fbuf)
+		tracer.SetTrace(reqID, "front")
+		route = obsv.Start(tracer, nil, "Route")
+		route.SetStr("fn_key", fnPrefix(key))
+		if tenant != "" {
+			route.SetStr("tenant", tenant)
+		}
+	}
 
 	rank := f.shards.rank(key)
 	if len(rank) == 0 {
@@ -230,9 +237,12 @@ func (f *Front) routeSynthesize(w http.ResponseWriter, r *http.Request, path, ke
 		writeError(w, http.StatusServiceUnavailable, "front: no healthy backends", reqID)
 		return
 	}
+	route.SetStr("owner", rank[0].ID)
+	route.SetInt("rank", int64(len(rank)))
 	prev, hasPrev := f.shards.prevOwner(key)
 	_, live := f.shards.snapshot()
 
+	jobID, outcome := "", "error"
 	var lastErr error
 	for attempt, b := range rank {
 		if attempt > 0 {
@@ -248,15 +258,34 @@ func (f *Front) routeSynthesize(w http.ResponseWriter, r *http.Request, path, ke
 		if wantFill && hasPrev && prev.ID != b.ID && live[prev.ID] {
 			fill = prev.URL
 		}
-		done, err := f.forwardSynthesize(r.Context(), w, b, path, body, reqID, fill, tenant, async)
+		asp := route.Child("Attempt")
+		asp.SetStr("backend", b.ID)
+		if fill != "" {
+			asp.SetStr("fill_from", fill)
+		}
+		done, id, err := f.forwardSynthesize(r.Context(), w, b, path, body, reqID, fill, tenant, async, asp)
+		if err != nil {
+			asp.SetStr("error", errString(err))
+		}
+		asp.End()
 		if done {
-			return
+			jobID, outcome = id, "relayed"
+			break
 		}
 		lastErr = err
 	}
-	mProxyErrors.Inc()
-	writeError(w, http.StatusBadGateway,
-		fmt.Sprintf("front: all backends failed: %v", lastErr), reqID)
+	if outcome != "relayed" {
+		mProxyErrors.Inc()
+		writeError(w, http.StatusBadGateway,
+			fmt.Sprintf("front: all backends failed: %v", lastErr), reqID)
+	}
+	route.SetStr("outcome", outcome)
+	route.End()
+	if jobID != "" && fbuf != nil {
+		// Keyed by the shard-qualified id the client polls with, so the
+		// trace endpoint finds the front half without a routing table.
+		f.traces.put(jobID, fbuf.Bytes())
+	}
 }
 
 // forwardSynthesize tries one backend, pacing bounded 429 retries by
@@ -273,16 +302,23 @@ func (f *Front) routeSynthesize(w http.ResponseWriter, r *http.Request, path, ke
 // attempt may solve on in the background (its result lands in that
 // backend's cache, so the work is not wasted), and the client gets
 // exactly one answer.
-func (f *Front) forwardSynthesize(ctx context.Context, w http.ResponseWriter, b Backend, path string, body []byte, reqID, fill, tenant string, async bool) (bool, error) {
+func (f *Front) forwardSynthesize(ctx context.Context, w http.ResponseWriter, b Backend, path string, body []byte, reqID, fill, tenant string, async bool, asp *obsv.Span) (bool, string, error) {
 	var lastErr error
 	for try := 0; ; try++ {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 			b.URL+path, bytes.NewReader(body))
 		if err != nil {
-			return false, err
+			return false, "", err
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set("X-Request-Id", reqID)
+		if !f.cfg.DisableTracePropagation {
+			// The backend roots its Job span under this attempt, so a
+			// stitched trace shows exactly which forward did the work.
+			if tc := (obsv.TraceContext{TraceID: reqID, Parent: asp.ID()}); tc.Valid() {
+				req.Header.Set(obsv.TraceHeader, tc.String())
+			}
+		}
 		if tenant != "" {
 			// The front is tenant-transparent: the scheduling share is a
 			// backend decision, the front just relays the claim.
@@ -297,12 +333,12 @@ func (f *Front) forwardSynthesize(ctx context.Context, w http.ResponseWriter, b 
 		resp, err := proxyHTTP.Do(req)
 		if err != nil {
 			if isDialError(err) || !async {
-				return false, err
+				return false, "", err
 			}
 			mProxyErrors.Inc()
 			writeError(w, http.StatusBadGateway,
 				fmt.Sprintf("front: %s failed after accepting the request: %v", b.ID, err), reqID)
-			return true, err
+			return true, "", err
 		}
 		data, err := readProxyBody(resp.Body)
 		resp.Body.Close()
@@ -312,15 +348,15 @@ func (f *Front) forwardSynthesize(ctx context.Context, w http.ResponseWriter, b 
 				// this function; failing over just re-solves it for nothing.
 				mProxyErrors.Inc()
 				writeError(w, http.StatusBadGateway, err.Error(), reqID)
-				return true, err
+				return true, "", err
 			}
 			if !async {
-				return false, err
+				return false, "", err
 			}
 			mProxyErrors.Inc()
 			writeError(w, http.StatusBadGateway,
 				fmt.Sprintf("front: %s failed after accepting the request: %v", b.ID, err), reqID)
-			return true, err
+			return true, "", err
 		}
 		switch {
 		case resp.StatusCode == http.StatusTooManyRequests && try < f.cfg.Retry429:
@@ -333,29 +369,34 @@ func (f *Front) forwardSynthesize(ctx context.Context, w http.ResponseWriter, b 
 			if wait > f.cfg.RetryAfterCap {
 				wait = f.cfg.RetryAfterCap
 			}
+			rsp := asp.Child("Retry429")
+			rsp.SetInt("wait_ms", wait.Milliseconds())
 			select {
 			case <-time.After(wait):
+				rsp.End()
 				continue
 			case <-ctx.Done():
-				return false, ctx.Err()
+				rsp.End()
+				return false, "", ctx.Err()
 			}
 		case resp.StatusCode >= 500:
 			// The backend is there but unwell (draining 503, internal
 			// error): deterministic fallback takes over.
 			lastErr = fmt.Errorf("%s: %s", b.ID, strings.TrimSpace(firstLine(data)))
-			return false, lastErr
+			return false, "", lastErr
 		default:
 			// 2xx, 400s, or an exhausted 429: the client's answer. Rewrite
 			// the job id so follow-ups route by shard.
-			f.writeProxied(w, resp, data, b)
-			return true, nil
+			return true, f.writeProxied(w, resp, data, b), nil
 		}
 	}
 }
 
 // writeProxied relays a backend response, rewriting job ids to embed
-// the owning shard. Unparseable bodies relay byte-for-byte.
-func (f *Front) writeProxied(w http.ResponseWriter, resp *http.Response, data []byte, b Backend) {
+// the owning shard; the rewritten id (or "") is returned so the caller
+// can key the request's front trace by it. Unparseable bodies relay
+// byte-for-byte.
+func (f *Front) writeProxied(w http.ResponseWriter, resp *http.Response, data []byte, b Backend) string {
 	copyHeader(w, resp, "Retry-After")
 	copyHeader(w, resp, "X-Janus-Fn-Key")
 	var jr service.Response
@@ -366,13 +407,14 @@ func (f *Front) writeProxied(w http.ResponseWriter, resp *http.Response, data []
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(resp.StatusCode)
 		json.NewEncoder(w).Encode(jr) //nolint:errcheck // client gone is not actionable
-		return
+		return jr.JobID
 	}
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
 	w.WriteHeader(resp.StatusCode)
 	w.Write(data) //nolint:errcheck // client gone is not actionable
+	return ""
 }
 
 // splitJobID resolves a front job id to its owning backend and the
@@ -399,15 +441,69 @@ func (f *Front) handleJob(w http.ResponseWriter, r *http.Request) {
 	f.proxyGet(w, r, st.backend, "/v1/jobs/"+local, reqID, true)
 }
 
-// handleJobTrace proxies a trace fetch (raw JSONL, no rewriting).
+// handleJobTrace serves a job's fleet trace: the backend's JSONL stream
+// stitched under the front's own Route/Attempt spans when the front
+// still holds them (one trace id, the backend Job re-rooted under the
+// attempt that carried it — obsv.StitchTraces). Without a front half —
+// tracing disabled, or the ring evicted it — the backend trace passes
+// through unchanged, exactly the old behavior.
 func (f *Front) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	reqID := obsv.RequestIDFromContext(r.Context())
-	st, local, ok := f.splitJobID(r.PathValue("id"))
+	full := r.PathValue("id")
+	st, local, ok := f.splitJobID(full)
 	if !ok {
 		writeError(w, http.StatusNotFound, "front: unknown shard in job id", reqID)
 		return
 	}
-	f.proxyGet(w, r, st.backend, "/v1/jobs/"+local+"/trace", reqID, false)
+	fb, hasFront := f.traces.get(full)
+	if !hasFront {
+		f.proxyGet(w, r, st.backend, "/v1/jobs/"+local+"/trace", reqID, false)
+		return
+	}
+	b := st.backend
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+		b.URL+"/v1/jobs/"+local+"/trace", nil)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error(), reqID)
+		return
+	}
+	req.Header.Set("X-Request-Id", reqID)
+	resp, err := proxyHTTP.Do(req)
+	if err != nil {
+		mProxyErrors.Inc()
+		writeError(w, http.StatusBadGateway, fmt.Sprintf("front: %s unreachable: %v", b.ID, err), reqID)
+		return
+	}
+	defer resp.Body.Close()
+	data, err := readProxyBody(resp.Body)
+	if err != nil {
+		mProxyErrors.Inc()
+		writeError(w, http.StatusBadGateway, err.Error(), reqID)
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		// The backend has no trace (404/409/410): relay its verdict — a
+		// front-only half would claim a fleet trace that lost its work.
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		w.WriteHeader(resp.StatusCode)
+		w.Write(data) //nolint:errcheck // client gone is not actionable
+		return
+	}
+	stitched, err := obsv.StitchTraces(fb, data)
+	if err != nil {
+		// A malformed backend stream still reaches the client raw; the
+		// stitch is best-effort decoration.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data) //nolint:errcheck // client gone is not actionable
+		return
+	}
+	mTracesStitched.Inc()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	w.Write(stitched) //nolint:errcheck // client gone is not actionable
 }
 
 // proxyGet relays one GET; rewrite re-embeds the shard in job ids.
@@ -539,6 +635,13 @@ type FrontInfo struct {
 	Retries429      int64  `json:"retries_429_total"`
 	FillHints       int64  `json:"fill_hints_total"`
 	NoBackend       int64  `json:"no_backend_total"`
+	TracedJobs      int    `json:"traced_jobs"`
+	TracesStitched  int64  `json:"traces_stitched_total"`
+	// StatsLaggards names the backends that missed their per-backend
+	// deadline (StatsTimeout) in this stats fan-out: their rows carry the
+	// poller's cached view instead of live numbers, and the totals
+	// exclude them. Only set on the /v1/stats live merge.
+	StatsLaggards []string `json:"stats_laggards,omitempty"`
 }
 
 // BackendStatus is one backend's view from the front.
@@ -552,6 +655,9 @@ type BackendStatus struct {
 	QueueDepth      int    `json:"queue_depth"`
 	QueueCapacity   int    `json:"queue_capacity,omitempty"`
 	Error           string `json:"error,omitempty"`
+	// StatsMS is how long this backend's share of the live stats fan-out
+	// took (only on the stats endpoint; the laggard diagnosis in numbers).
+	StatsMS float64 `json:"stats_ms,omitempty"`
 	// Stats is the backend's own /v1/stats body (only on the stats
 	// endpoint's live fan-out; nil when the backend was unreachable).
 	Stats *service.Stats `json:"stats,omitempty"`
@@ -592,34 +698,54 @@ func (f *Front) statsSnapshot() Stats {
 		}
 		out.Backends = append(out.Backends, bs)
 	}
+	traced := 0
+	if f.traces != nil {
+		f.traces.mu.Lock()
+		traced = len(f.traces.order)
+		f.traces.mu.Unlock()
+	}
 	out.Front = FrontInfo{
 		Epoch: epoch, Backends: len(f.states), HealthyBackends: healthy,
 		Routed: f.nRouted.Load(), Failovers: f.nFailovers.Load(),
 		Retries429: f.nRetries.Load(), FillHints: f.nFillHints.Load(),
 		NoBackend: f.nNoBackend.Load(),
+		TracedJobs: traced, TracesStitched: mTracesStitched.Value(),
 	}
 	return out
 }
 
 // handleStats merges a live fan-out of every backend's /v1/stats into
-// the front's own snapshot.
+// the front's own snapshot. Each backend gets its own deadline
+// (StatsTimeout), so one stalled member delays the merge by at most
+// that much; members that miss it are named in front.stats_laggards and
+// keep the poller's cached row.
 func (f *Front) handleStats(w http.ResponseWriter, r *http.Request) {
 	out := f.statsSnapshot()
-	ctx, cancel := context.WithTimeout(r.Context(), f.cfg.StatsTimeout)
-	defer cancel()
 	var wg sync.WaitGroup
 	stats := make([]*service.Stats, len(f.states))
+	durs := make([]time.Duration, len(f.states))
 	for i, st := range f.states {
 		wg.Add(1)
 		go func(i int, st *backendState) {
 			defer wg.Done()
-			s, err := st.client.ServerStats(ctx)
+			bctx, cancel := context.WithTimeout(r.Context(), f.cfg.StatsTimeout)
+			defer cancel()
+			t0 := time.Now()
+			s, err := st.client.ServerStats(bctx)
+			durs[i] = time.Since(t0)
 			if err == nil {
 				stats[i] = s
 			}
 		}(i, st)
 	}
 	wg.Wait()
+	for i, s := range stats {
+		out.Backends[i].StatsMS = float64(durs[i]) / 1e6
+		if s == nil {
+			out.Front.StatsLaggards = append(out.Front.StatsLaggards, f.states[i].backend.ID)
+			mStatsLaggards.Inc()
+		}
+	}
 	byTenant := map[string]*service.TenantStats{}
 	var tenantOrder []string
 	for i, s := range stats {
@@ -659,6 +785,42 @@ func (f *Front) handleStats(w http.ResponseWriter, r *http.Request) {
 		out.Totals.Tenants = append(out.Totals.Tenants, *byTenant[name])
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMetricsProm serves the fleet Prometheus view: the front's own
+// registry next to every reachable backend's snapshot tagged
+// backend="id", merged into one exposition (one # TYPE line per family
+// — obsv.WriteFleetProm). The fan-out mirrors handleStats: per-backend
+// deadline, unreachable members simply contribute no series this
+// scrape (Prometheus treats the gap as staleness, which is the truth).
+func (f *Front) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	var wg sync.WaitGroup
+	backendSnaps := make([]*obsv.Snapshot, len(f.states))
+	for i, st := range f.states {
+		wg.Add(1)
+		go func(i int, st *backendState) {
+			defer wg.Done()
+			bctx, cancel := context.WithTimeout(r.Context(), f.cfg.StatsTimeout)
+			defer cancel()
+			s, err := st.client.Metrics(bctx)
+			if err == nil {
+				backendSnaps[i] = s
+			}
+		}(i, st)
+	}
+	wg.Wait()
+	snaps := []obsv.LabeledSnapshot{{Snapshot: obsv.Default.Snapshot()}}
+	for i, s := range backendSnaps {
+		if s == nil {
+			continue
+		}
+		snaps = append(snaps, obsv.LabeledSnapshot{
+			Snapshot: *s,
+			Labels:   []string{"backend", f.states[i].backend.ID},
+		})
+	}
+	w.Header().Set("Content-Type", obsv.PromContentType)
+	obsv.WriteFleetProm(w, snaps) //nolint:errcheck // client gone is not actionable
 }
 
 // handleHealthz answers from the poller's cached state: 200 while at

@@ -11,6 +11,7 @@ import (
 // ServeDebug starts a background HTTP server on addr exposing
 //
 //	/metrics       JSON snapshot of the registry
+//	/metrics/prom  the same registry in Prometheus text format
 //	/debug/vars    expvar (includes the Default registry as janus_metrics)
 //	/debug/pprof/  the standard pprof profiles
 //
@@ -40,6 +41,10 @@ func DebugHandler(reg *Registry) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(reg.Snapshot()) //nolint:errcheck // best-effort debug output
+	})
+	mux.HandleFunc("/metrics/prom", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		WritePrometheus(w, reg) //nolint:errcheck // best-effort debug output
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -3,6 +3,7 @@ package obsv
 import (
 	"expvar"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -110,6 +111,9 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	funcs    map[string]func() int64
+	// variants counts distinct labeled children per base histogram name,
+	// enforcing the HistogramWith cardinality bound.
+	variants map[string]int
 }
 
 // Default is the process-wide registry the pipeline's packages register
@@ -123,6 +127,7 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		funcs:    make(map[string]func() int64),
+		variants: make(map[string]int),
 	}
 }
 
@@ -174,6 +179,77 @@ func (r *Registry) Histogram(name string) *Histogram {
 		h = &Histogram{}
 		r.hists[name] = h
 	}
+	return h
+}
+
+// maxLabelVariants bounds the distinct label sets one base metric name
+// may grow via HistogramWith: two endpoints × the scheduler's 64
+// tracked tenants. Past it, new label sets fold into values of "other"
+// so a hostile or misconfigured label source cannot grow the registry
+// (and every scrape) without bound.
+const maxLabelVariants = 128
+
+// LabeledName renders a metric name with prometheus-style labels
+// attached: name{k1="v1",k2="v2"}. kv alternates keys and values; label
+// values are escaped per the text exposition format, keys have invalid
+// runes folded to '_'. The labeled string is the registry key — the
+// JSON snapshot shows it verbatim, and WritePrometheus splits it back
+// apart to splice in extra labels (le, backend).
+func LabeledName(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeLabelKey(kv[i]))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// HistogramWith returns the histogram for name with the given label
+// pairs (alternating key, value), creating it on first use. Distinct
+// label sets per base name are capped at maxLabelVariants; once full,
+// new sets fold into a single overflow child whose values are all
+// "other", so observations are never dropped — only their label detail.
+func (r *Registry) HistogramWith(name string, kv ...string) *Histogram {
+	labeled := LabeledName(name, kv...)
+	r.mu.RLock()
+	h := r.hists[labeled]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[labeled]; h != nil {
+		return h
+	}
+	if r.variants[name] >= maxLabelVariants {
+		folded := make([]string, len(kv))
+		for i := range kv {
+			if i%2 == 0 {
+				folded[i] = kv[i]
+			} else {
+				folded[i] = "other"
+			}
+		}
+		labeled = LabeledName(name, folded...)
+		if h = r.hists[labeled]; h != nil {
+			return h
+		}
+	}
+	h = &Histogram{}
+	r.hists[labeled] = h
+	r.variants[name]++
 	return h
 }
 

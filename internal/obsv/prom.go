@@ -1,0 +1,243 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4), stdlib-only. The registry
+// stays integer-valued and exponential-bucketed; this file only renders:
+//
+//   - counters and function gauges as single series,
+//   - histograms as cumulative _bucket/_sum/_count families, with le
+//     bounds 2^0, 2^1, … matching bucketOf (bucket i counts v ≤ 2^i,
+//     the last bucket is +Inf),
+//   - labeled registry names (see LabeledName) split back into base name
+//     + label block so extra labels (le, backend) splice in cleanly.
+//
+// Metric names have invalid runes folded to '_' at render time; label
+// values are escaped per the format (\\, \", \n). Series order is
+// deterministic (sorted) so goldens and diffs are stable.
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the registry's current snapshot in the
+// Prometheus text exposition format.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	if r == nil {
+		r = Default
+	}
+	return WriteSnapshotProm(w, r.Snapshot())
+}
+
+// WriteSnapshotProm renders an already-taken snapshot. extraKV is an
+// alternating key/value list of labels added to every series — the
+// front uses it to tag each backend's re-exported snapshot with
+// backend="host:port" in its fleet view.
+func WriteSnapshotProm(w io.Writer, s Snapshot, extraKV ...string) error {
+	var b strings.Builder
+	writePromFamilies(&b, s.Counters, "counter", extraKV)
+	writePromFamilies(&b, s.Gauges, "gauge", extraKV)
+	writePromHistograms(&b, s.Histograms, extraKV)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// LabeledSnapshot pairs a registry snapshot with labels stamped on
+// every series it contributes to a fleet render.
+type LabeledSnapshot struct {
+	Snapshot Snapshot
+	// Labels alternates key, value (e.g. "backend", "host:7151").
+	Labels []string
+}
+
+// WriteFleetProm renders several snapshots as ONE exposition: series
+// from every source are merged per family before rendering, so each
+// family gets exactly one # TYPE line even when the same metric exists
+// on every backend. This is what the front's /metrics/prom serves — its
+// own registry unlabeled next to each member's snapshot tagged
+// backend="id". Same-key collisions sum for counters and last-write for
+// gauges/histograms; distinct Labels per source avoid them entirely.
+func WriteFleetProm(w io.Writer, snaps []LabeledSnapshot) error {
+	counters := map[string]int64{}
+	gauges := map[string]int64{}
+	hists := map[string]HistogramSnapshot{}
+	for _, ls := range snaps {
+		for n, v := range ls.Snapshot.Counters {
+			counters[mergeLabels(n, ls.Labels)] += v
+		}
+		for n, v := range ls.Snapshot.Gauges {
+			gauges[mergeLabels(n, ls.Labels)] = v
+		}
+		for n, h := range ls.Snapshot.Histograms {
+			hists[mergeLabels(n, ls.Labels)] = h
+		}
+	}
+	var b strings.Builder
+	writePromFamilies(&b, counters, "counter", nil)
+	writePromFamilies(&b, gauges, "gauge", nil)
+	writePromHistograms(&b, hists, nil)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// mergeLabels folds extra label pairs into a registry key's label
+// block, producing a key splitLabeledName round-trips.
+func mergeLabels(name string, kv []string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	base, inner := splitLabeledName(name)
+	return base + joinLabels(inner, kv, "")
+}
+
+// splitLabeledName separates a registry key built by LabeledName into
+// its base name and the inner label list (without braces).
+func splitLabeledName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// sanitizeMetricName folds runes outside [a-zA-Z0-9_:] to '_' and
+// guards against a leading digit.
+func sanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b []byte
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if ok {
+			if b != nil {
+				b = append(b, c)
+			}
+			continue
+		}
+		if b == nil {
+			b = append([]byte{}, name[:i]...)
+		}
+		b = append(b, '_')
+	}
+	if b == nil {
+		return name
+	}
+	return string(b)
+}
+
+// sanitizeLabelKey folds runes outside [a-zA-Z0-9_] to '_' (label names
+// allow no colon) and guards against a leading digit.
+func sanitizeLabelKey(k string) string {
+	k = sanitizeMetricName(k)
+	return strings.ReplaceAll(k, ":", "_")
+}
+
+// escapeLabelValue escapes a label value per the text format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// joinLabels merges an inner label list (already in k="v" form), extra
+// key/value pairs, and an optional le bound into one {…} block, or ""
+// when every part is empty.
+func joinLabels(inner string, extraKV []string, le string) string {
+	parts := make([]string, 0, 3)
+	if inner != "" {
+		parts = append(parts, inner)
+	}
+	for i := 0; i+1 < len(extraKV); i += 2 {
+		parts = append(parts,
+			sanitizeLabelKey(extraKV[i])+`="`+escapeLabelValue(extraKV[i+1])+`"`)
+	}
+	if le != "" {
+		parts = append(parts, `le="`+le+`"`)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// promSortedNames returns map keys sorted by (sanitized base, full
+// name), so labeled variants of one family render contiguously.
+func promSortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		bi, _ := splitLabeledName(names[i])
+		bj, _ := splitLabeledName(names[j])
+		if bi != bj {
+			return sanitizeMetricName(bi) < sanitizeMetricName(bj)
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+func writePromFamilies(b *strings.Builder, m map[string]int64, typ string, extraKV []string) {
+	lastBase := ""
+	for _, name := range promSortedNames(m) {
+		base, inner := splitLabeledName(name)
+		base = sanitizeMetricName(base)
+		if base != lastBase {
+			fmt.Fprintf(b, "# TYPE %s %s\n", base, typ)
+			lastBase = base
+		}
+		b.WriteString(base)
+		b.WriteString(joinLabels(inner, extraKV, ""))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(m[name], 10))
+		b.WriteByte('\n')
+	}
+}
+
+func writePromHistograms(b *strings.Builder, m map[string]HistogramSnapshot, extraKV []string) {
+	lastBase := ""
+	for _, name := range promSortedNames(m) {
+		base, inner := splitLabeledName(name)
+		base = sanitizeMetricName(base)
+		if base != lastBase {
+			fmt.Fprintf(b, "# TYPE %s histogram\n", base)
+			lastBase = base
+		}
+		h := m[name]
+		var cum int64
+		for i, n := range h.Buckets {
+			cum += n
+			le := "+Inf"
+			if i < len(h.Buckets)-1 {
+				le = strconv.FormatInt(1<<uint(i), 10)
+			}
+			b.WriteString(base)
+			b.WriteString("_bucket")
+			b.WriteString(joinLabels(inner, extraKV, le))
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatInt(cum, 10))
+			b.WriteByte('\n')
+		}
+		b.WriteString(base)
+		b.WriteString("_sum")
+		b.WriteString(joinLabels(inner, extraKV, ""))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(h.Sum, 10))
+		b.WriteByte('\n')
+		b.WriteString(base)
+		b.WriteString("_count")
+		b.WriteString(joinLabels(inner, extraKV, ""))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(h.Count, 10))
+		b.WriteByte('\n')
+	}
+}

@@ -1,0 +1,248 @@
+package obsv
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// promRender renders a registry to a string.
+func promRender(t *testing.T, r *Registry, extraKV ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := WriteSnapshotProm(&b, r.Snapshot(), extraKV...); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestPromNameEscaping: invalid runes in metric names fold to '_',
+// including a leading digit.
+func TestPromNameEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("janus.test-weird name").Add(3)
+	r.Gauge("2fast").Set(1)
+	out := promRender(t, r)
+	if !strings.Contains(out, "# TYPE janus_test_weird_name counter\njanus_test_weird_name 3\n") {
+		t.Fatalf("weird counter name not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "_fast 1\n") || strings.Contains(out, "\n2fast") {
+		t.Fatalf("leading digit not escaped:\n%s", out)
+	}
+}
+
+// TestPromLabelEscaping: label values containing backslashes, double
+// quotes, and newlines render escaped per the text format.
+func TestPromLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.HistogramWith("janus_test_lat_ns", "tenant", "he said \"hi\"\nback\\slash").Observe(3)
+	out := promRender(t, r)
+	want := `tenant="he said \"hi\"\nback\\slash"`
+	if !strings.Contains(out, want) {
+		t.Fatalf("label value not escaped, want %s in:\n%s", want, out)
+	}
+	if strings.Contains(out, "\nback") {
+		t.Fatalf("raw newline leaked into exposition:\n%s", out)
+	}
+}
+
+// TestPromZeroHistogram: a created-but-never-observed histogram still
+// renders a full cumulative bucket ladder ending at +Inf, with zero
+// sum/count — scrapers must see the family, not a hole.
+func TestPromZeroHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("janus_test_empty_ns")
+	out := promRender(t, r)
+	for _, want := range []string{
+		"# TYPE janus_test_empty_ns histogram\n",
+		`janus_test_empty_ns_bucket{le="1"} 0` + "\n",
+		`janus_test_empty_ns_bucket{le="+Inf"} 0` + "\n",
+		"janus_test_empty_ns_sum 0\n",
+		"janus_test_empty_ns_count 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("zero histogram missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPromHistogramCumulative: _bucket series are cumulative over the
+// exponential bounds and _count equals the +Inf bucket.
+func TestPromHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("janus_test_cum")
+	h.Observe(1)   // le="1"
+	h.Observe(3)   // le="4"
+	h.Observe(100) // le="128"
+	out := promRender(t, r)
+	for _, want := range []string{
+		`janus_test_cum_bucket{le="1"} 1`,
+		`janus_test_cum_bucket{le="2"} 1`,
+		`janus_test_cum_bucket{le="4"} 2`,
+		`janus_test_cum_bucket{le="64"} 2`,
+		`janus_test_cum_bucket{le="128"} 3`,
+		`janus_test_cum_bucket{le="+Inf"} 3`,
+		"janus_test_cum_sum 104",
+		"janus_test_cum_count 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("cumulative render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPromExtraLabels: extra labels (the front's backend tag) splice
+// into every series, including inside histogram bucket label blocks.
+func TestPromExtraLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("janus_test_reqs_total").Inc()
+	r.HistogramWith("janus_test_wait_ns", "tenant", "bulk").Observe(2)
+	out := promRender(t, r, "backend", "b1:7151")
+	for _, want := range []string{
+		`janus_test_reqs_total{backend="b1:7151"} 1`,
+		`janus_test_wait_ns_bucket{tenant="bulk",backend="b1:7151",le="2"} 1`,
+		`janus_test_wait_ns_count{tenant="bulk",backend="b1:7151"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("extra label render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPromTypeLinePerFamily: labeled variants of one base name share a
+// single # TYPE line.
+func TestPromTypeLinePerFamily(t *testing.T) {
+	r := NewRegistry()
+	r.HistogramWith("janus_test_fam_ns", "tenant", "a").Observe(1)
+	r.HistogramWith("janus_test_fam_ns", "tenant", "b").Observe(1)
+	out := promRender(t, r)
+	if n := strings.Count(out, "# TYPE janus_test_fam_ns histogram"); n != 1 {
+		t.Fatalf("family emitted %d TYPE lines, want 1:\n%s", n, out)
+	}
+}
+
+// TestWriteFleetProm: snapshots from several sources merge into one
+// exposition — a family present on every source gets exactly one # TYPE
+// line, each source's series carry its labels, and a same-key counter
+// collision sums instead of silently overwriting.
+func TestWriteFleetProm(t *testing.T) {
+	own := NewRegistry()
+	own.Counter("janus_front_requests_total").Add(5)
+	b1 := NewRegistry()
+	b1.Counter("janus_service_requests_total").Add(3)
+	b1.Histogram("janus_service_solve_ns").Observe(7)
+	b2 := NewRegistry()
+	b2.Counter("janus_service_requests_total").Add(4)
+	b2.Histogram("janus_service_solve_ns").Observe(9)
+
+	var b strings.Builder
+	err := WriteFleetProm(&b, []LabeledSnapshot{
+		{Snapshot: own.Snapshot()},
+		{Snapshot: b1.Snapshot(), Labels: []string{"backend", "h1:7151"}},
+		{Snapshot: b2.Snapshot(), Labels: []string{"backend", "h2:7151"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"janus_front_requests_total 5",
+		`janus_service_requests_total{backend="h1:7151"} 3`,
+		`janus_service_requests_total{backend="h2:7151"} 4`,
+		`janus_service_solve_ns_count{backend="h1:7151"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("fleet render missing %q:\n%s", want, out)
+		}
+	}
+	for _, fam := range []string{
+		"# TYPE janus_service_requests_total counter",
+		"# TYPE janus_service_solve_ns histogram",
+	} {
+		if n := strings.Count(out, fam); n != 1 {
+			t.Fatalf("fleet render has %d %q lines, want 1:\n%s", n, fam, out)
+		}
+	}
+
+	// Unlabeled collision: counters sum across sources.
+	b.Reset()
+	if err := WriteFleetProm(&b, []LabeledSnapshot{
+		{Snapshot: b1.Snapshot()}, {Snapshot: b2.Snapshot()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "janus_service_requests_total 7\n") {
+		t.Fatalf("colliding counters did not sum:\n%s", b.String())
+	}
+}
+
+// TestHistogramWithCardinalityBound: past maxLabelVariants distinct
+// label sets, new sets fold into the "other" child instead of growing
+// the registry.
+func TestHistogramWithCardinalityBound(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < maxLabelVariants+16; i++ {
+		r.HistogramWith("janus_test_bound_ns", "tenant", "t"+string(rune('a'+i%26))+string(rune('a'+i/26))).Observe(1)
+	}
+	snap := r.Snapshot()
+	n := 0
+	for name := range snap.Histograms {
+		if strings.HasPrefix(name, "janus_test_bound_ns{") {
+			n++
+		}
+	}
+	if n > maxLabelVariants+1 {
+		t.Fatalf("cardinality bound leaked: %d variants", n)
+	}
+	other := snap.Histograms[LabeledName("janus_test_bound_ns", "tenant", "other")]
+	if other.Count == 0 {
+		t.Fatal("overflow label sets did not fold into the other child")
+	}
+	// The same overflow set maps to the same child (no drops).
+	h1 := r.HistogramWith("janus_test_bound_ns", "tenant", "zz-overflow")
+	h2 := r.HistogramWith("janus_test_bound_ns", "tenant", "zz-overflow-2")
+	if h1 != h2 {
+		t.Fatal("overflow children not shared")
+	}
+}
+
+// TestPromGolden: a fully populated registry renders byte-for-byte
+// against the checked-in golden (series order is sorted, so the render
+// is deterministic).
+func TestPromGolden(t *testing.T) {
+	r := goldenRegistry()
+	out := promRender(t, r)
+	path := filepath.Join("testdata", "prom_golden.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (set UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if out != string(want) {
+		t.Fatalf("prometheus render drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", out, want)
+	}
+}
+
+// goldenRegistry builds the deterministic registry behind the golden
+// render: every metric kind, labeled and not, plus escaping hazards.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("janus_service_requests_total").Add(42)
+	r.Counter("janus_front_failovers_total").Add(2)
+	r.Gauge("janus_service_queue_depth").Set(3)
+	r.RegisterFunc("janus_service_slo_synthesize_burn_5m_milli", func() int64 { return 1500 })
+	h := r.Histogram("janus_service_solve_ns")
+	h.Observe(900)
+	h.Observe(1 << 14)
+	ht := r.HistogramWith("janus_service_tenant_wait_ns", "tenant", "bulk", "endpoint", "synthesize")
+	ht.Observe(5)
+	ht.Observe(5000)
+	r.HistogramWith("janus_service_tenant_wait_ns", "tenant", "interactive", "endpoint", "synthesize").Observe(1)
+	r.Counter("janus.odd-name_total").Add(7)
+	return r
+}

@@ -138,23 +138,31 @@ func (s *SLO) SnapshotAt(now time.Time) SLOSnapshot {
 // (the registry is integer-valued), e.g. prefix_burn_5m_milli == 1000
 // at burn rate 1.0.
 func (s *SLO) Register(r *Registry, prefix string) {
+	s.RegisterLabeled(r, prefix)
+}
+
+// RegisterLabeled is Register with label pairs attached to every series
+// (the suffix lands before the label block, so prometheus sees e.g.
+// prefix_burn_5m_milli{tenant="bulk"}). This is how the per-tenant SLOs
+// publish without minting a metric family per tenant.
+func (s *SLO) RegisterLabeled(r *Registry, prefix string, kv ...string) {
 	if s == nil || r == nil {
 		return
 	}
-	r.RegisterFunc(prefix+"_good_total", func() int64 {
+	r.RegisterFunc(LabeledName(prefix+"_good_total", kv...), func() int64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		return s.good
 	})
-	r.RegisterFunc(prefix+"_total", func() int64 {
+	r.RegisterFunc(LabeledName(prefix+"_total", kv...), func() int64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		return s.total
 	})
-	r.RegisterFunc(prefix+"_burn_5m_milli", func() int64 {
+	r.RegisterFunc(LabeledName(prefix+"_burn_5m_milli", kv...), func() int64 {
 		return int64(s.Snapshot().BurnRate5m * 1000)
 	})
-	r.RegisterFunc(prefix+"_burn_1h_milli", func() int64 {
+	r.RegisterFunc(LabeledName(prefix+"_burn_1h_milli", kv...), func() int64 {
 		return int64(s.Snapshot().BurnRate1h * 1000)
 	})
 }

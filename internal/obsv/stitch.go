@@ -1,0 +1,88 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Trace stitching: merging two processes' JSONL streams into one trace.
+//
+// Every tracer numbers its spans from 1, so the front's stream and a
+// backend's stream collide on ids. StitchRecords renumbers the child
+// (downstream) process's spans above the parent's id range, rewrites
+// intra-child parent edges to match, and resolves RemoteParent markers
+// — a child root whose remote_parent names a span in the parent stream
+// becomes a real child of that span. The output keeps the child's lines
+// first and the parent's last, preserving the buffer invariant the
+// validator and TraceBuffer rely on: children precede parents, so every
+// suffix of the stitched stream resolves all parent references and the
+// overall root (the parent process's, last to end) survives truncation.
+//
+// Clocks are NOT reconciled: each record keeps the wall time of the
+// process that emitted it, and cross-process skew can make a child span
+// appear to start before its parent. That is a display problem, not a
+// validity problem — per-record duration consistency still holds — and
+// tracesum tolerates it (see the -by-hop skew column).
+
+// StitchRecords merges a child process's records under a parent
+// process's, returning one stream tagged with the parent's trace id.
+// Either side may be empty; the other passes through unchanged (modulo
+// the child renumbering never hurting an empty parent).
+func StitchRecords(parent, child []Record) []Record {
+	var maxID uint64
+	parentIDs := make(map[uint64]bool, len(parent))
+	traceID := ""
+	for _, rec := range parent {
+		if rec.ID > maxID {
+			maxID = rec.ID
+		}
+		parentIDs[rec.ID] = true
+		if traceID == "" {
+			traceID = rec.TraceID
+		}
+	}
+	out := make([]Record, 0, len(parent)+len(child))
+	for _, rec := range child {
+		rec.ID += maxID
+		switch {
+		case rec.Parent != 0:
+			rec.Parent += maxID
+		case rec.RemoteParent != 0 && parentIDs[rec.RemoteParent]:
+			// The cross-process edge: this child root was opened under a
+			// span the parent process forwarded. It becomes a real edge and
+			// the advisory marker goes away.
+			rec.Parent = rec.RemoteParent
+			rec.RemoteParent = 0
+		}
+		if traceID != "" {
+			rec.TraceID = traceID
+		}
+		out = append(out, rec)
+	}
+	return append(out, parent...)
+}
+
+// StitchTraces is StitchRecords over raw JSONL: it parses both streams,
+// merges them, and re-serializes one line per span.
+func StitchTraces(parent, child []byte) ([]byte, error) {
+	precs, err := ReadTrace(bytes.NewReader(parent))
+	if err != nil {
+		return nil, fmt.Errorf("obsv: stitch parent: %w", err)
+	}
+	crecs, err := ReadTrace(bytes.NewReader(child))
+	if err != nil {
+		return nil, fmt.Errorf("obsv: stitch child: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(parent) + len(child))
+	for _, rec := range StitchRecords(precs, crecs) {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return nil, fmt.Errorf("obsv: stitch span %q: %w", rec.Span, err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}

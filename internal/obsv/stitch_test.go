@@ -1,0 +1,221 @@
+package obsv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTraceContextRoundTrip: header format survives parse/format, and
+// trace ids containing '-' split correctly at the last separator.
+func TestTraceContextRoundTrip(t *testing.T) {
+	for _, tc := range []TraceContext{
+		{TraceID: "t4f2a-12", Parent: 7},
+		{TraceID: "f00:ba.r_8", Parent: 18446744073709551615},
+		{TraceID: "x", Parent: 1},
+	} {
+		got, ok := ParseTraceContext(tc.String())
+		if !ok || got != tc {
+			t.Fatalf("round trip %q: got %+v ok=%v", tc.String(), got, ok)
+		}
+	}
+}
+
+// TestTraceContextRejects: malformed headers parse to ok=false — no
+// separator, junk runes, oversize ids, zero or non-decimal parents.
+func TestTraceContextRejects(t *testing.T) {
+	for _, s := range []string{
+		"", "-", "noparent", "noparent-", "-7", "t1-0", "t1-x7", "t1-7x",
+		"sp ace-7", "ёжик-7", strings.Repeat("a", 65) + "-7",
+		"t1--", "t1-7-", "t1-18446744073709551616", // uint64 overflow
+	} {
+		if got, ok := ParseTraceContext(s); ok {
+			t.Fatalf("ParseTraceContext(%q) accepted: %+v", s, got)
+		}
+	}
+}
+
+// TestSanitizeRequestID: the shared policy — verbatim or rejected whole.
+func TestSanitizeRequestID(t *testing.T) {
+	if got := SanitizeRequestID("r1.a:B_c-9"); got != "r1.a:B_c-9" {
+		t.Fatalf("valid id mangled: %q", got)
+	}
+	for _, bad := range []string{"", "a b", "a\nb", "a/b", strings.Repeat("x", 65)} {
+		if SanitizeRequestID(bad) != "" {
+			t.Fatalf("SanitizeRequestID(%q) accepted", bad)
+		}
+	}
+}
+
+// frontAndBackend builds the two process-local streams of one fleet
+// request: a front Route span with one Attempt child, and a backend
+// whose Job tree was opened under the attempt's span id via the trace
+// context. backendSpans controls the backend's TraceBuffer bound, to
+// exercise ring eviction before stitching.
+func frontAndBackend(t *testing.T, backendSpans int, backendChildren int) (front, backend []byte, attemptID uint64) {
+	t.Helper()
+	fbuf := NewTraceBuffer(0, 0)
+	ftr := NewTracer(fbuf)
+	ftr.SetTrace("t-fleet-1", "front")
+	route := Start(ftr, nil, "Route")
+	route.SetStr("owner", "b1:7151")
+	attempt := route.Child("Attempt")
+	attempt.SetStr("backend", "b1:7151")
+	attemptID = attempt.ID()
+
+	// The backend parses the X-Janus-Trace header the attempt carried.
+	tc, ok := ParseTraceContext(TraceContext{TraceID: "t-fleet-1", Parent: attemptID}.String())
+	if !ok {
+		t.Fatal("minted trace context failed to parse")
+	}
+	bbuf := NewTraceBuffer(backendSpans, 0)
+	btr := NewTracer(bbuf)
+	btr.SetTrace(tc.TraceID, "janusd")
+	job := StartRemote(btr, tc.Parent, "Job")
+	synth := job.Child("Synthesize")
+	for i := 0; i < backendChildren; i++ {
+		c := synth.Child("Candidate")
+		c.Child("SatSolve").End()
+		c.End()
+	}
+	synth.End()
+	job.End()
+
+	attempt.End()
+	route.End()
+	return fbuf.Bytes(), bbuf.Bytes(), attemptID
+}
+
+// TestStitchTraces: a front stream and a backend stream merge into one
+// schema-valid trace under one trace id, with the backend's Job rooted
+// under the front's Attempt span and children preceding parents
+// throughout (every suffix of the stitched stream must validate).
+func TestStitchTraces(t *testing.T) {
+	front, backend, attemptID := frontAndBackend(t, 0, 3)
+	stitched, err := StitchTraces(front, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadTrace(bytes.NewReader(stitched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateRecords(recs); err != nil {
+		t.Fatalf("stitched trace invalid: %v", err)
+	}
+
+	// One trace id across every span.
+	for _, rec := range recs {
+		if rec.TraceID != "t-fleet-1" {
+			t.Fatalf("span %q trace_id = %q, want t-fleet-1", rec.Span, rec.TraceID)
+		}
+	}
+
+	// Exactly one root: the front's Route. The backend Job became a real
+	// child of the Attempt span and its advisory remote_parent is gone.
+	var job, route *Record
+	index := make(map[uint64]int, len(recs))
+	for i := range recs {
+		index[recs[i].ID] = i
+		switch recs[i].Span {
+		case "Job":
+			job = &recs[i]
+		case "Route":
+			route = &recs[i]
+		}
+		if recs[i].Parent == 0 && recs[i].Span != "Route" {
+			t.Fatalf("unexpected extra root %q", recs[i].Span)
+		}
+	}
+	if job == nil || route == nil {
+		t.Fatal("stitched trace missing Job or Route span")
+	}
+	if job.RemoteParent != 0 {
+		t.Fatalf("Job kept advisory remote_parent %d after stitching", job.RemoteParent)
+	}
+	attempt := recs[index[job.Parent]]
+	if attempt.Span != "Attempt" || attempt.Proc != "front" {
+		t.Fatalf("Job parent is %q/%q, want front Attempt", attempt.Span, attempt.Proc)
+	}
+	_ = attemptID
+
+	// Children precede parents: each non-root span's parent line comes
+	// later, so every suffix of the stream resolves (the TraceBuffer
+	// eviction invariant must survive stitching).
+	for i, rec := range recs {
+		if rec.Parent == 0 {
+			continue
+		}
+		if index[rec.Parent] <= i {
+			t.Fatalf("span %q (line %d) follows its parent (line %d): suffix validity broken",
+				rec.Span, i, index[rec.Parent])
+		}
+	}
+}
+
+// TestStitchEvictedBackend: when the backend's ring buffer evicted the
+// trace down to (nearly) its root, stitching still yields a valid
+// stream — the surviving Job root re-roots under the front attempt and
+// evicted children are simply absent, never dangling.
+func TestStitchEvictedBackend(t *testing.T) {
+	front, backend, _ := frontAndBackend(t, 2, 100)
+	brecs, err := ReadTrace(bytes.NewReader(backend))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(brecs) != 2 {
+		t.Fatalf("backend retained %d spans, want 2 (eviction not exercised)", len(brecs))
+	}
+	// The backend stream alone validates even though eviction stranded a
+	// suffix (Synthesize's parent Job survives; Candidate children are gone).
+	if err := ValidateRecords(brecs); err != nil {
+		t.Fatalf("evicted backend trace invalid before stitching: %v", err)
+	}
+	stitched, err := StitchTraces(front, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateTrace(bytes.NewReader(stitched)); err != nil {
+		t.Fatalf("stitched trace with evicted backend invalid: %v", err)
+	}
+	if !strings.Contains(string(stitched), `"span":"Job"`) ||
+		!strings.Contains(string(stitched), `"span":"Route"`) {
+		t.Fatal("stitched trace lost a root span")
+	}
+}
+
+// TestStitchEmptySides: either stream may be empty; the other passes
+// through.
+func TestStitchEmptySides(t *testing.T) {
+	front, backend, _ := frontAndBackend(t, 0, 1)
+	if out, err := StitchTraces(front, nil); err != nil || !bytes.Contains(out, []byte(`"Route"`)) {
+		t.Fatalf("front-only stitch: %v", err)
+	}
+	out, err := StitchTraces(nil, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateTrace(bytes.NewReader(out)); err != nil {
+		t.Fatalf("backend-only stitch invalid: %v", err)
+	}
+}
+
+// TestStitchIDCollision: both tracers number spans from 1; the stitcher
+// must renumber so ids stay unique (ValidateRecords rejects duplicates).
+func TestStitchIDCollision(t *testing.T) {
+	mk := func(name string) []byte {
+		buf := NewTraceBuffer(0, 0)
+		tr := NewTracer(buf)
+		root := Start(tr, nil, name)
+		root.Child(name + "Child").End()
+		root.End()
+		return buf.Bytes()
+	}
+	out, err := StitchTraces(mk("A"), mk("B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateTrace(bytes.NewReader(out)); err != nil {
+		t.Fatalf("colliding-id stitch invalid: %v", err)
+	}
+}

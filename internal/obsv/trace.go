@@ -28,15 +28,32 @@ import (
 // span-end order (children precede their parents). It is safe for
 // concurrent use by multiple goroutines; a nil Tracer discards everything.
 type Tracer struct {
-	mu     sync.Mutex
-	w      io.Writer
-	err    error
-	nextID atomic.Uint64
+	mu      sync.Mutex
+	w       io.Writer
+	err     error
+	traceID string
+	proc    string
+	nextID  atomic.Uint64
 }
 
 // NewTracer returns a tracer writing JSONL records to w.
 func NewTracer(w io.Writer) *Tracer {
 	return &Tracer{w: w}
+}
+
+// SetTrace tags every span this tracer emits with a fleet-wide trace id
+// and a process ("hop") label. The tag is what lets two processes' JSONL
+// streams be stitched into one trace: the front mints the trace id, the
+// backend adopts it from the X-Janus-Trace header, and tracesum groups
+// per hop. Untagged tracers emit exactly the pre-fleet schema (the
+// fields are omitempty). Nil-safe.
+func (t *Tracer) SetTrace(traceID, proc string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.traceID, t.proc = traceID, proc
+	t.mu.Unlock()
 }
 
 // Err returns the first write or encoding error the tracer hit, if any.
@@ -51,14 +68,25 @@ func (t *Tracer) Err() error {
 
 // Record is the JSONL schema of one completed span. Parent is 0 for root
 // spans; IDs are unique per tracer and start at 1.
+//
+// TraceID, Proc, and RemoteParent are the multi-process extension: a
+// tracer tagged via SetTrace stamps every record with the fleet-wide
+// trace id and its hop name, and a root span opened with StartRemote
+// carries the span id of its parent in ANOTHER process's stream.
+// RemoteParent is advisory until stitching: within one process's stream
+// the span is still a root (Parent 0), so a standalone backend trace
+// stays schema-valid; StitchRecords resolves it into a real parent edge.
 type Record struct {
-	Span   string         `json:"span"`
-	ID     uint64         `json:"id"`
-	Parent uint64         `json:"parent,omitempty"`
-	Start  time.Time      `json:"start"`
-	End    time.Time      `json:"end"`
-	DurNS  int64          `json:"dur_ns"`
-	Attrs  map[string]any `json:"attrs,omitempty"`
+	Span         string         `json:"span"`
+	ID           uint64         `json:"id"`
+	Parent       uint64         `json:"parent,omitempty"`
+	TraceID      string         `json:"trace_id,omitempty"`
+	Proc         string         `json:"proc,omitempty"`
+	RemoteParent uint64         `json:"remote_parent,omitempty"`
+	Start        time.Time      `json:"start"`
+	End          time.Time      `json:"end"`
+	DurNS        int64          `json:"dur_ns"`
+	Attrs        map[string]any `json:"attrs,omitempty"`
 }
 
 // Span is one timed, attributed node of the trace tree. All methods are
@@ -67,6 +95,7 @@ type Span struct {
 	t      *Tracer
 	id     uint64
 	parent uint64
+	remote uint64
 	name   string
 	start  time.Time
 
@@ -90,6 +119,30 @@ func Start(t *Tracer, parent *Span, name string) *Span {
 		sp.parent = parent.id
 	}
 	return sp
+}
+
+// StartRemote opens a root span whose parent lives in another process's
+// trace stream: remoteParent is a span id minted by that process's
+// tracer (carried here in an X-Janus-Trace header). The span is a local
+// root — Parent stays 0 so the stream validates standalone — and the
+// remote edge is recorded for StitchRecords to resolve. A zero
+// remoteParent is exactly Start(t, nil, name).
+func StartRemote(t *Tracer, remoteParent uint64, name string) *Span {
+	sp := Start(t, nil, name)
+	if sp != nil {
+		sp.remote = remoteParent
+	}
+	return sp
+}
+
+// ID returns the span's tracer-local id (0 on a nil span) — the value a
+// process puts in an outbound X-Janus-Trace header so the next hop can
+// root under it.
+func (sp *Span) ID() uint64 {
+	if sp == nil {
+		return 0
+	}
+	return sp.id
 }
 
 // Tracer returns the span's tracer (nil on a nil span), for callers that
@@ -173,19 +226,23 @@ func (sp *Span) End() {
 	// serialized wall-clock timestamps exactly (ValidateTrace checks it).
 	start, end := sp.start.Round(0), time.Now().Round(0)
 	rec := Record{
-		Span:   sp.name,
-		ID:     sp.id,
-		Parent: sp.parent,
-		Start:  start,
-		End:    end,
-		DurNS:  end.Sub(start).Nanoseconds(),
-		Attrs:  sp.attrs,
+		Span:         sp.name,
+		ID:           sp.id,
+		Parent:       sp.parent,
+		RemoteParent: sp.remote,
+		Start:        start,
+		End:          end,
+		DurNS:        end.Sub(start).Nanoseconds(),
+		Attrs:        sp.attrs,
 	}
 	sp.mu.Unlock()
 	sp.t.emit(rec)
 }
 
 func (t *Tracer) emit(rec Record) {
+	t.mu.Lock()
+	rec.TraceID, rec.Proc = t.traceID, t.proc
+	t.mu.Unlock()
 	b, err := json.Marshal(rec)
 	t.mu.Lock()
 	defer t.mu.Unlock()

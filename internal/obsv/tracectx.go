@@ -1,0 +1,105 @@
+package obsv
+
+import (
+	"context"
+	"strconv"
+	"strings"
+)
+
+// Cross-process trace context. The front mints a trace id per request
+// and forwards it — together with the span id the next hop should root
+// under — in one header:
+//
+//	X-Janus-Trace: <trace_id>-<parent_span_id>
+//
+// trace_id obeys exactly the request-id policy (SanitizeRequestID), and
+// parent_span_id is the decimal tracer-local id of the forwarding span.
+// Because '-' is a legal trace-id character the header splits at the
+// LAST '-'; the parent id is all-digits so the split is unambiguous.
+// The receiving daemon tags its per-job tracer with the trace id and
+// opens its root span via StartRemote, and the front later stitches the
+// two streams with StitchRecords. The header is untrusted client input
+// on every hop: parse failures mean "no inbound context", never an
+// error, and nothing from a rejected header is echoed anywhere.
+
+// TraceHeader is the trace-context header name.
+const TraceHeader = "X-Janus-Trace"
+
+// SanitizeRequestID is the fleet-wide policy for client-supplied
+// correlation ids (X-Request-Id, and the trace_id half of
+// X-Janus-Trace): up to 64 bytes of [A-Za-z0-9._:-], accepted verbatim
+// or rejected whole — it returns "" for anything else and the caller
+// mints its own id. Shared here so the front and the service cannot
+// drift apart on what survives a hop.
+func SanitizeRequestID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.' || c == ':':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// TraceContext is one hop's view of a fleet-wide trace: the trace id and
+// the remote span id to root under.
+type TraceContext struct {
+	TraceID string
+	Parent  uint64
+}
+
+// Valid reports whether the context carries both halves.
+func (tc TraceContext) Valid() bool {
+	return tc.TraceID != "" && tc.Parent != 0
+}
+
+// String renders the X-Janus-Trace header value.
+func (tc TraceContext) String() string {
+	return tc.TraceID + "-" + strconv.FormatUint(tc.Parent, 10)
+}
+
+// ParseTraceContext parses an X-Janus-Trace header value. It returns
+// ok=false — and a zero context — for anything malformed: no separator,
+// a trace id the request-id policy rejects, or a parent id that is not
+// a positive decimal uint64.
+func ParseTraceContext(s string) (TraceContext, bool) {
+	i := strings.LastIndexByte(s, '-')
+	if i <= 0 || i == len(s)-1 {
+		return TraceContext{}, false
+	}
+	id := SanitizeRequestID(s[:i])
+	if id == "" {
+		return TraceContext{}, false
+	}
+	parent, err := strconv.ParseUint(s[i+1:], 10, 64)
+	if err != nil || parent == 0 {
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: id, Parent: parent}, true
+}
+
+type ctxTraceContextKey struct{}
+
+// ContextWithTraceContext attaches an inbound trace context. Invalid
+// contexts are not attached, so readers see ok=false.
+func ContextWithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	if !tc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxTraceContextKey{}, tc)
+}
+
+// TraceContextFromContext returns the trace context attached to ctx.
+func TraceContextFromContext(ctx context.Context) (TraceContext, bool) {
+	if ctx == nil {
+		return TraceContext{}, false
+	}
+	tc, ok := ctx.Value(ctxTraceContextKey{}).(TraceContext)
+	return tc, ok
+}

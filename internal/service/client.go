@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"github.com/lattice-tools/janus/internal/obsv"
 )
 
 // Client is a minimal janusd API client (cmd/janusload, janusfront, and
@@ -126,6 +128,12 @@ func (c *Client) do(ctx context.Context, method, path string, body, into any) er
 	if c.Tenant != "" {
 		req.Header.Set("X-Janus-Tenant", c.Tenant)
 	}
+	// Forward the caller's trace context so the receiving daemon roots
+	// its spans under ours (peer cache fills inherit the filling
+	// request's context this way).
+	if tc, ok := obsv.TraceContextFromContext(ctx); ok && tc.Valid() {
+		req.Header.Set(obsv.TraceHeader, tc.String())
+	}
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return err
@@ -163,6 +171,17 @@ func (c *Client) do(ctx context.Context, method, path string, body, into any) er
 		return nil
 	}
 	return json.Unmarshal(data, into)
+}
+
+// Metrics fetches the daemon's metrics-registry snapshot (GET /metrics,
+// the JSON form). The front tier re-exports these in its fleet
+// Prometheus view, tagged with the backend's id.
+func (c *Client) Metrics(ctx context.Context) (*obsv.Snapshot, error) {
+	var s obsv.Snapshot
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
 }
 
 // ParseRetryAfter is the exported form of parseRetryAfter, for callers

@@ -31,6 +31,7 @@ const waitGrace = 250 * time.Millisecond
 //	GET  /v1/stats              queue health + SLO burn rates
 //	GET  /healthz               queue health; 503 while draining
 //	GET  /debug/flightrecorder  recent request summaries
+//	GET  /metrics/prom          the metrics registry, Prometheus text format
 //	/metrics, /debug/…          the obsv debug surface, for single-port setups
 //
 // Every response carries an X-Request-Id header (the inbound one when
@@ -54,6 +55,10 @@ func (s *Server) Handler() http.Handler {
 	// debug so the log stream stays about real work.
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", nil, slog.LevelDebug, s.handleHealthz))
 	mux.HandleFunc("GET /debug/flightrecorder", s.instrument("flightrecorder", nil, slog.LevelDebug, s.handleFlightRecorder))
+	mux.HandleFunc("GET /metrics/prom", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", obsv.PromContentType)
+		obsv.WritePrometheus(w, nil) //nolint:errcheck // client gone is not actionable
+	})
 	mux.Handle("/metrics", obsv.DebugHandler(nil))
 	mux.Handle("/debug/", obsv.DebugHandler(nil))
 	return mux
@@ -81,38 +86,28 @@ func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 func (s *Server) instrument(endpoint string, slo *obsv.SLO, lvl slog.Level, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		id := sanitizeRequestID(r.Header.Get("X-Request-Id"))
+		id := obsv.SanitizeRequestID(r.Header.Get("X-Request-Id"))
 		if id == "" {
 			id = s.newRequestID()
 		}
 		w.Header().Set("X-Request-Id", id)
+		ctx := obsv.ContextWithRequestID(r.Context(), id)
+		// Inbound trace context (a front hop forwarding its span id). The
+		// header is untrusted; the parser applies the request-id policy and
+		// malformed values simply mean "no remote parent". The propagation
+		// switch is honored at admission (Server.traceContext), so embedded
+		// callers see identical behavior to HTTP ones.
+		if tc, ok := obsv.ParseTraceContext(r.Header.Get(obsv.TraceHeader)); ok {
+			ctx = obsv.ContextWithTraceContext(ctx, tc)
+		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h(sw, r.WithContext(obsv.ContextWithRequestID(r.Context(), id)))
+		h(sw, r.WithContext(ctx))
 		d := time.Since(start)
 		slo.Observe(d)
 		s.log.Log(r.Context(), lvl, "http",
 			"endpoint", endpoint, "method", r.Method, "path", r.URL.Path,
 			"status", sw.code, "request_id", id, "dur_ms", float64(d)/1e6)
 	}
-}
-
-// sanitizeRequestID accepts an inbound id only when it is short and
-// unambiguously printable, so hostile headers cannot smuggle log or
-// header noise; anything else is discarded and a fresh id minted.
-func sanitizeRequestID(id string) string {
-	if len(id) == 0 || len(id) > 64 {
-		return ""
-	}
-	for i := 0; i < len(id); i++ {
-		c := id[i]
-		switch {
-		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
-		case c == '-' || c == '_' || c == '.' || c == ':':
-		default:
-			return ""
-		}
-	}
-	return id
 }
 
 func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {

@@ -88,6 +88,22 @@ type Config struct {
 	// hold its first verified mapping, enqueue to incumbent (default
 	// 10s). Jobs that finish without any mapping count against it.
 	FirstMappingSLO time.Duration
+	// TenantSynthSLO / TenantFirstMappingSLO are the per-tenant latency
+	// objectives behind the tenant-labeled burn gauges and the SLO rows in
+	// the /v1/stats scheduler block. Zero inherits SynthSLO /
+	// FirstMappingSLO; negative disables per-tenant SLO tracking. The
+	// tenant SLO measures job end-to-end time (queue wait + solve), not
+	// HTTP handler latency, so a tenant queued behind a noisy neighbor
+	// burns budget even when each individual solve is fast.
+	TenantSynthSLO        time.Duration
+	TenantFirstMappingSLO time.Duration
+	// DisableTracePropagation, when set, makes the daemon ignore inbound
+	// X-Janus-Trace headers: every job trace roots locally instead of
+	// under the remote caller's span. Propagation is on by default — the
+	// header is parsed under the same strict policy as request ids, so an
+	// unparseable or hostile value degrades to a local root, never an
+	// error.
+	DisableTracePropagation bool
 	// Tenants configures named tenants' scheduling shares; tenants not
 	// listed here get TenantDefaults on first sight. See TenantConfig.
 	Tenants map[string]TenantConfig
@@ -171,6 +187,19 @@ func (c *Config) fill() {
 	if c.SLOTarget <= 0 || c.SLOTarget >= 1 {
 		c.SLOTarget = 0.99
 	}
+	// Resolved after SynthSLO/FirstMappingSLO so zero can inherit them.
+	switch {
+	case c.TenantSynthSLO == 0:
+		c.TenantSynthSLO = c.SynthSLO
+	case c.TenantSynthSLO < 0:
+		c.TenantSynthSLO = 0
+	}
+	switch {
+	case c.TenantFirstMappingSLO == 0:
+		c.TenantFirstMappingSLO = c.FirstMappingSLO
+	case c.TenantFirstMappingSLO < 0:
+		c.TenantFirstMappingSLO = 0
+	}
 	if c.Logger == nil {
 		c.Logger = obsv.NopLogger()
 	}
@@ -245,6 +274,10 @@ type job struct {
 	id        string
 	key       string
 	requestID string // the admitting request's id, stamped on the trace
+	// traceCtx is the admitting request's inbound trace context (zero
+	// when none): the job's span tree roots under this remote parent so
+	// the front tier can stitch its spans and ours into one trace.
+	traceCtx obsv.TraceContext
 	p         *parsedRequest
 	bp        *parsedBatch // non-nil for batch jobs (then p is nil)
 	tenant    string       // the tenant queue this job is accounted to
@@ -279,7 +312,9 @@ func NewServer(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:        cfg,
 		mem:        newMemCache(cfg.MemEntries),
-		sched:      newScheduler(cfg.QueueDepth, cfg.TenantDefaults, cfg.Tenants),
+		sched: newScheduler(cfg.QueueDepth, cfg.TenantDefaults, cfg.Tenants, tenantSLOCfg{
+			synth: cfg.TenantSynthSLO, firstMap: cfg.TenantFirstMappingSLO, target: cfg.SLOTarget,
+		}),
 		inflight:   make(map[string]*job),
 		jobs:       make(map[string]*job),
 		budgets:    make(map[string][]budgetEntry),
@@ -392,7 +427,7 @@ func (s *Server) synthesizeParsed(ctx context.Context, p *parsedRequest) (*Respo
 			return withMeta(respond(out, "", "peer"), reqID, p.fnKey), nil
 		}
 	}
-	j, coalesced, err := s.admit(p, nil, reqID, tenantFromContext(ctx))
+	j, coalesced, err := s.admit(p, nil, reqID, tenantFromContext(ctx), s.traceContext(ctx))
 	if err != nil {
 		// Shed and drain refusals go in the flight recorder too: a burst
 		// of 429s is exactly the kind of incident it exists to replay.
@@ -472,7 +507,7 @@ func (s *Server) synthesizeBatchParsed(ctx context.Context, pb *parsedBatch) (*R
 		})
 		return withMeta(respond(out, "", where), reqID, pb.fnKey), nil
 	}
-	j, coalesced, err := s.admit(nil, pb, reqID, tenantFromContext(ctx))
+	j, coalesced, err := s.admit(nil, pb, reqID, tenantFromContext(ctx), s.traceContext(ctx))
 	if err != nil {
 		oc := outcomeShed
 		if err == ErrDraining {
@@ -519,6 +554,17 @@ func (s *Server) newRequestID() string {
 	return fmt.Sprintf("r%s-%d", s.nonce, s.reqSeq.Add(1))
 }
 
+// traceContext reads the inbound trace context for a request, honoring
+// the propagation switch (a job admitted while propagation is off roots
+// its trace locally).
+func (s *Server) traceContext(ctx context.Context) obsv.TraceContext {
+	if s.cfg.DisableTracePropagation {
+		return obsv.TraceContext{}
+	}
+	tc, _ := obsv.TraceContextFromContext(ctx)
+	return tc
+}
+
 // withMeta stamps the request id and function key on a response.
 func withMeta(r *Response, id, fnKey string) *Response {
 	r.RequestID = id
@@ -562,7 +608,7 @@ func (s *Server) cached(key string) (*outcome, string, bool) {
 // enqueues a new one under the tenant's fairness rules, all under the
 // mutex so admission cannot race drain. Exactly one of p / bp is
 // non-nil (single vs batch job).
-func (s *Server) admit(p *parsedRequest, bp *parsedBatch, reqID, tenant string) (*job, bool, error) {
+func (s *Server) admit(p *parsedRequest, bp *parsedBatch, reqID, tenant string, tc obsv.TraceContext) (*job, bool, error) {
 	var key, shape string
 	var timeout time.Duration
 	var async bool
@@ -600,6 +646,7 @@ func (s *Server) admit(p *parsedRequest, bp *parsedBatch, reqID, tenant string) 
 		id:        fmt.Sprintf("j%s-%d", s.nonce, s.seq),
 		key:       key,
 		requestID: reqID,
+		traceCtx:  tc,
 		p:         p,
 		bp:        bp,
 		tenant:    tenant,
@@ -756,10 +803,20 @@ func (s *Server) run(j *job) {
 	if s.cfg.TraceJobs > 0 {
 		// j.trace is assigned under the mutex so JobTrace never races it.
 		j.trace = obsv.NewTraceBuffer(s.cfg.TraceSpans, s.cfg.TraceBytes)
-		jobSpan = obsv.Start(obsv.NewTracer(j.trace), nil, "Job")
+		tracer := obsv.NewTracer(j.trace)
+		if j.traceCtx.Valid() {
+			// An inbound X-Janus-Trace header roots this job under the
+			// remote caller's span: the tracer stamps the fleet trace id and
+			// process tag on every span, and Job carries the advisory
+			// remote parent the front resolves when stitching.
+			tracer.SetTrace(j.traceCtx.TraceID, "janusd")
+		}
+		jobSpan = obsv.StartRemote(tracer, j.traceCtx.Parent, "Job")
 	}
+	tq := s.sched.tenant(j.tenant)
 	s.mu.Unlock()
 	hQueueWaitNS.Observe(int64(j.queueWait))
+	tq.observeQueueWait("synthesize", j.queueWait)
 
 	jobSpan.SetStr("job_id", j.id)
 	jobSpan.SetStr("request_id", j.requestID)
@@ -843,6 +900,7 @@ func (s *Server) run(j *job) {
 			hFirstMappingNS.Observe(int64(fm))
 		}
 		s.sloFirstMap.Observe(fm)
+		tq.observeFirstMapping(fm)
 		finalLB, finalUB := 0, 0
 		if out.Result != nil {
 			finalLB, finalUB = out.Result.FinalLB, out.Result.Size
@@ -856,6 +914,7 @@ func (s *Server) run(j *job) {
 	jobSpan.End() // last span to end: survives any buffer eviction
 
 	total := j.queueWait + solve
+	tq.observeE2E("synthesize", total)
 	entry := FlightEntry{
 		Time: j.enqueued, RequestID: j.requestID, JobID: j.id,
 		FnKey: fnPrefix(j.p.fnKey), Outcome: out.Status, Error: out.Error,
@@ -908,10 +967,16 @@ func (s *Server) runBatch(j *job) {
 	j.queueWait = time.Since(j.enqueued)
 	if s.cfg.TraceJobs > 0 {
 		j.trace = obsv.NewTraceBuffer(s.cfg.TraceSpans, s.cfg.TraceBytes)
-		jobSpan = obsv.Start(obsv.NewTracer(j.trace), nil, "BatchJob")
+		tracer := obsv.NewTracer(j.trace)
+		if j.traceCtx.Valid() {
+			tracer.SetTrace(j.traceCtx.TraceID, "janusd")
+		}
+		jobSpan = obsv.StartRemote(tracer, j.traceCtx.Parent, "BatchJob")
 	}
+	tq := s.sched.tenant(j.tenant)
 	s.mu.Unlock()
 	hQueueWaitNS.Observe(int64(j.queueWait))
+	tq.observeQueueWait("synthesize_batch", j.queueWait)
 
 	jobSpan.SetStr("job_id", j.id)
 	jobSpan.SetStr("request_id", j.requestID)
@@ -969,6 +1034,7 @@ func (s *Server) runBatch(j *job) {
 	jobSpan.End()
 
 	total := j.queueWait + solve
+	tq.observeE2E("synthesize_batch", total)
 	entry := FlightEntry{
 		Time: j.enqueued, RequestID: j.requestID, JobID: j.id,
 		FnKey: fnPrefix(j.bp.fnKey), Outcome: out.Status, Error: out.Error,

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"github.com/lattice-tools/janus/internal/obsv"
 )
@@ -79,6 +80,45 @@ type tenantQ struct {
 	gDepth  *obsv.Gauge
 	mAdmits *obsv.Counter
 	mSheds  *obsv.Counter
+
+	// Per-tenant latency objectives (nil when disabled): sloSynth measures
+	// job end-to-end time (queue wait + solve) against the tenant SLO,
+	// sloFirstMap the anytime first-mapping objective. Both publish
+	// tenant-labeled burn gauges, so one tenant burning budget is visible
+	// next to the fleet-wide endpoint SLOs.
+	sloSynth    *obsv.SLO
+	sloFirstMap *obsv.SLO
+}
+
+// observeQueueWait feeds one dispatched job's queue wait into the
+// tenant-labeled histogram. Safe outside Server.mu: histograms and SLOs
+// are internally synchronized.
+func (tq *tenantQ) observeQueueWait(endpoint string, d time.Duration) {
+	obsv.Default.HistogramWith("janus_service_tenant_queue_wait_ns",
+		"tenant", tq.name, "endpoint", endpoint).Observe(int64(d))
+}
+
+// observeE2E feeds one finished job's end-to-end latency (queue wait +
+// solve) into the tenant-labeled histogram and the tenant synth SLO.
+func (tq *tenantQ) observeE2E(endpoint string, d time.Duration) {
+	obsv.Default.HistogramWith("janus_service_tenant_e2e_ns",
+		"tenant", tq.name, "endpoint", endpoint).Observe(int64(d))
+	tq.sloSynth.Observe(d)
+}
+
+// observeFirstMapping feeds the tenant's anytime objective.
+func (tq *tenantQ) observeFirstMapping(d time.Duration) {
+	tq.sloFirstMap.Observe(d)
+}
+
+// tenantSLOCfg carries the per-tenant latency objectives into the
+// scheduler, which owns tenant lifecycle (lazy creation, fold past the
+// tracking cap) and so is where per-tenant SLOs are minted. A zero
+// objective disables that SLO (nil *obsv.SLO discards observations).
+type tenantSLOCfg struct {
+	synth    time.Duration // end-to-end (queue wait + solve) objective
+	firstMap time.Duration // anytime first-mapping objective
+	target   float64       // good fraction both must meet
 }
 
 // scheduler is the weighted deficit-round-robin dispatcher. It is not
@@ -86,6 +126,7 @@ type tenantQ struct {
 type scheduler struct {
 	defaults TenantConfig
 	capTotal int
+	slo      tenantSLOCfg
 
 	tenants map[string]*tenantQ
 	order   []*tenantQ // creation order; rr indexes into it
@@ -113,10 +154,11 @@ func normalizeTenantConfig(cfg TenantConfig, capTotal int) TenantConfig {
 	return cfg
 }
 
-func newScheduler(capTotal int, defaults TenantConfig, tenants map[string]TenantConfig) *scheduler {
+func newScheduler(capTotal int, defaults TenantConfig, tenants map[string]TenantConfig, slo tenantSLOCfg) *scheduler {
 	sc := &scheduler{
 		defaults: normalizeTenantConfig(defaults, capTotal),
 		capTotal: capTotal,
+		slo:      slo,
 		tenants:  make(map[string]*tenantQ),
 	}
 	// The default tenant always exists, so folding past the tracking cap
@@ -136,9 +178,17 @@ func newScheduler(capTotal int, defaults TenantConfig, tenants map[string]Tenant
 func (sc *scheduler) addTenant(name string, cfg TenantConfig) *tenantQ {
 	tq := &tenantQ{
 		name: name, cfg: cfg, deficit: cfg.Weight,
-		gDepth:  obsv.Default.Gauge("janus_service_tenant_queue_depth_" + name),
-		mAdmits: obsv.Default.Counter("janus_service_tenant_admits_total_" + name),
-		mSheds:  obsv.Default.Counter("janus_service_tenant_sheds_total_" + name),
+		gDepth:  obsv.Default.Gauge(obsv.LabeledName("janus_service_tenant_queue_depth", "tenant", name)),
+		mAdmits: obsv.Default.Counter(obsv.LabeledName("janus_service_tenant_admits_total", "tenant", name)),
+		mSheds:  obsv.Default.Counter(obsv.LabeledName("janus_service_tenant_sheds_total", "tenant", name)),
+	}
+	if sc.slo.synth > 0 {
+		tq.sloSynth = obsv.NewSLO("synthesize", sc.slo.synth, sc.slo.target)
+		tq.sloSynth.RegisterLabeled(obsv.Default, "janus_service_tenant_slo_synthesize", "tenant", name)
+	}
+	if sc.slo.firstMap > 0 {
+		tq.sloFirstMap = obsv.NewSLO("first_mapping", sc.slo.firstMap, sc.slo.target)
+		tq.sloFirstMap.RegisterLabeled(obsv.Default, "janus_service_tenant_slo_first_mapping", "tenant", name)
 	}
 	sc.tenants[name] = tq
 	sc.order = append(sc.order, tq)
@@ -275,6 +325,9 @@ type TenantStats struct {
 	Dispatched  int64  `json:"dispatched"`
 	Completed   int64  `json:"completed"`
 	Shed        int64  `json:"shed"`
+	// SLOs carries this tenant's burn-rate snapshots (absent when the
+	// per-tenant objectives are disabled).
+	SLOs []obsv.SLOSnapshot `json:"slos,omitempty"`
 }
 
 // SchedulerStats is the fairness counter block on /v1/stats.
@@ -296,13 +349,20 @@ func (sc *scheduler) stats() SchedulerStats {
 		if maxIF >= 1<<30 {
 			maxIF = 0 // unlimited reads cleaner as absent
 		}
-		st.Tenants = append(st.Tenants, TenantStats{
+		ts := TenantStats{
 			Name: tq.name, Weight: tq.cfg.Weight,
 			QueueDepth: len(tq.jobs), QueueShare: tq.cfg.QueueShare,
 			InFlight: tq.inFlight, MaxInFlight: maxIF,
 			Admitted: tq.admitted, Dispatched: tq.dispatched,
 			Completed: tq.completed, Shed: tq.shed,
-		})
+		}
+		if tq.sloSynth != nil {
+			ts.SLOs = append(ts.SLOs, tq.sloSynth.Snapshot())
+		}
+		if tq.sloFirstMap != nil {
+			ts.SLOs = append(ts.SLOs, tq.sloFirstMap.Snapshot())
+		}
+		st.Tenants = append(st.Tenants, ts)
 	}
 	return st
 }

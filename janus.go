@@ -23,6 +23,7 @@
 package janus
 
 import (
+	"context"
 	"io"
 	"net"
 	"net/http"
@@ -89,6 +90,14 @@ type (
 	// MetricsSnapshot is a point-in-time copy of the process-wide metrics
 	// registry (janus_* counters, gauges, and histograms).
 	MetricsSnapshot = obsv.Snapshot
+	// LabeledMetricsSnapshot pairs a MetricsSnapshot with labels stamped
+	// on every series in a fleet Prometheus render (WriteFleetMetricsProm).
+	LabeledMetricsSnapshot = obsv.LabeledSnapshot
+	// TraceContext is the cross-process trace coordinate carried by the
+	// X-Janus-Trace header: the fleet trace id plus the parent span in the
+	// sending process. Client forwards it automatically when present on
+	// the request context.
+	TraceContext = obsv.TraceContext
 	// Server is the janusd synthesis service: a job queue with request
 	// coalescing and a persistent result cache in front of Synthesize.
 	Server = service.Server
@@ -198,6 +207,35 @@ func NewTracer(w io.Writer) *Tracer { return obsv.NewTracer(w) }
 // publish here (janus_core_*, janus_encode_*, janus_sat_*, janus_memo_*);
 // the same data is exported through expvar as "janus_metrics".
 func Metrics() MetricsSnapshot { return obsv.Default.Snapshot() }
+
+// MetricsPromContentType is the Content-Type of the Prometheus text
+// exposition format served by WriteMetricsProm (and by janusd's and
+// janusfront's GET /metrics/prom).
+const MetricsPromContentType = obsv.PromContentType
+
+// WriteMetricsProm renders the process-wide registry in the Prometheus
+// text exposition format (version 0.0.4) — the embedder's form of the
+// daemons' GET /metrics/prom.
+func WriteMetricsProm(w io.Writer) error { return obsv.WritePrometheus(w, nil) }
+
+// WriteFleetMetricsProm merges several labeled snapshots into ONE
+// Prometheus exposition (a single # TYPE line per family even when
+// every source exports the same metric) — how the front renders its own
+// registry next to each backend's, tagged backend="id".
+func WriteFleetMetricsProm(w io.Writer, snaps []LabeledMetricsSnapshot) error {
+	return obsv.WriteFleetProm(w, snaps)
+}
+
+// TraceHeader is the cross-process trace propagation header,
+// "X-Janus-Trace": "<trace_id>-<parent_span_id>".
+const TraceHeader = obsv.TraceHeader
+
+// ContextWithTraceContext attaches a trace context for outbound calls:
+// Client stamps it onto every request as TraceHeader, and a janusd
+// receiving it roots the job's trace under the remote span.
+func ContextWithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	return obsv.ContextWithTraceContext(ctx, tc)
+}
 
 // ServeDebug starts a background HTTP listener exposing /metrics,
 // /debug/vars, and /debug/pprof for live inspection of a long synthesis.

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Strict checker for a Prometheus text-format 0.0.4 exposition.
+
+CI pipes the body of GET /metrics/prom (janusd's own registry, or the
+front's merged fleet view) through this script. It fails on anything a
+real Prometheus scraper would reject or silently mangle:
+
+  - malformed lines (not `name{labels} value` / `name value`)
+  - invalid metric or label names, unescaped label values
+  - a # TYPE line naming a family more than once, or appearing after
+    a sample of that family was already emitted
+  - a TYPE other than counter/gauge/histogram/untyped
+  - histogram families missing their +Inf bucket, _sum, or _count, or
+    with non-monotonic cumulative bucket counts
+  - non-numeric sample values (NaN is allowed; Prometheus accepts it)
+
+Usage:  promcheck.py [file]        (stdin when no file is given)
+        promcheck.py --require NAME [--require NAME ...] [file]
+
+--require asserts the exposition contains a sample whose family name
+matches NAME exactly (labels ignored) — CI uses it to pin the series
+the dashboards depend on.
+
+Exit 0 and a one-line summary on success; exit 1 with every violation
+on stderr otherwise.
+"""
+
+import re
+import sys
+
+METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name{labels} value  |  name value   (timestamps are not emitted by janus)
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$")
+LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+VALUE_RE = re.compile(r"^(NaN|[+-]?Inf|[+-]?[0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?)$")
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def base_family(name):
+    """Family a sample belongs to for TYPE purposes: histogram series
+    carry _bucket/_sum/_count suffixes on the declared family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_labels(raw, lineno, errors):
+    """Return the label dict, flagging junk between pairs."""
+    labels = {}
+    rest = raw
+    while rest:
+        m = LABEL_PAIR_RE.match(rest)
+        if not m:
+            errors.append(f"line {lineno}: bad label block near {rest!r}")
+            return labels
+        labels[m.group(1)] = m.group(2)
+        rest = rest[m.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            errors.append(f"line {lineno}: junk between labels: {rest!r}")
+            return labels
+    return labels
+
+
+def check(text):
+    errors = []
+    typed = {}          # family -> declared type
+    seen_sample = set()  # families that already emitted a sample
+    families = set()     # every family with at least one sample
+    # histogram family -> {"buckets": [(le, value, lineno)], "sum": n, "count": n}
+    hists = {}
+    nsamples = 0
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                errors.append(f"line {lineno}: malformed TYPE line: {line!r}")
+                continue
+            _, _, fam, typ = parts
+            if not METRIC_RE.match(fam):
+                errors.append(f"line {lineno}: TYPE names invalid metric {fam!r}")
+            if typ not in TYPES:
+                errors.append(f"line {lineno}: unknown type {typ!r} for {fam}")
+            if fam in typed:
+                errors.append(f"line {lineno}: duplicate TYPE line for {fam}")
+            if fam in seen_sample:
+                errors.append(f"line {lineno}: TYPE for {fam} after its samples")
+            typed[fam] = typ
+            continue
+        if line.startswith("#"):
+            continue  # HELP and comments: free-form
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: malformed sample line: {line!r}")
+            continue
+        name, _, rawlabels, value = m.groups()
+        nsamples += 1
+        fam = base_family(name) if typed.get(base_family(name)) == "histogram" else name
+        seen_sample.add(fam)
+        families.add(fam)
+        if not VALUE_RE.match(value):
+            errors.append(f"line {lineno}: non-numeric value {value!r} for {name}")
+        labels = parse_labels(rawlabels, lineno, errors) if rawlabels else {}
+        for k in labels:
+            if not LABEL_RE.match(k):
+                errors.append(f"line {lineno}: invalid label name {k!r}")
+
+        if typed.get(fam) == "histogram":
+            # Histogram series with extra labels (e.g. backend=...) are
+            # tracked per label-set so bucket monotonicity is judged
+            # within one series, not across backends.
+            extra = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            h = hists.setdefault((fam, extra), {"buckets": [], "sum": None, "count": None})
+            try:
+                num = float(value)
+            except ValueError:
+                num = float("nan")
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(f"line {lineno}: {name} sample without le label")
+                else:
+                    le = float("inf") if labels["le"] == "+Inf" else float(labels["le"])
+                    h["buckets"].append((le, num, lineno))
+            elif name.endswith("_sum"):
+                h["sum"] = num
+            elif name.endswith("_count"):
+                h["count"] = num
+            else:
+                errors.append(f"line {lineno}: {name} is typed histogram but has no histogram suffix")
+
+    for fam in sorted(families):
+        if fam not in typed:
+            errors.append(f"family {fam} has samples but no TYPE line")
+    for (fam, extra), h in sorted(hists.items()):
+        where = fam + ("{" + ",".join(f'{k}="{v}"' for k, v in extra) + "}" if extra else "")
+        if h["sum"] is None or h["count"] is None:
+            errors.append(f"histogram {where} missing _sum or _count")
+        buckets = sorted(h["buckets"])
+        if not buckets or buckets[-1][0] != float("inf"):
+            errors.append(f"histogram {where} missing +Inf bucket")
+        prev = None
+        for le, num, lineno in buckets:
+            if prev is not None and num < prev:
+                errors.append(
+                    f"line {lineno}: histogram {where} bucket le={le} count {num} < previous {prev}")
+            prev = num
+        if buckets and h["count"] is not None and buckets[-1][1] != h["count"]:
+            errors.append(f"histogram {where} +Inf bucket {buckets[-1][1]} != _count {h['count']}")
+
+    return errors, nsamples, families
+
+
+def main(argv):
+    require = []
+    args = []
+    it = iter(argv)
+    for a in it:
+        if a == "--require":
+            try:
+                require.append(next(it))
+            except StopIteration:
+                print("promcheck: --require needs a metric name", file=sys.stderr)
+                return 2
+        else:
+            args.append(a)
+    if len(args) > 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    text = open(args[0]).read() if args else sys.stdin.read()
+    errors, nsamples, families = check(text)
+    for name in require:
+        if name not in families:
+            errors.append(f"required family {name} not present")
+    if errors:
+        for e in errors:
+            print(f"promcheck: {e}", file=sys.stderr)
+        return 1
+    print(f"promcheck OK: {nsamples} samples, {len(families)} families")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
